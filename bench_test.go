@@ -1,0 +1,265 @@
+package ngramstats
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section VII) at benchmark scale. One benchmark per
+// table/figure, with sub-benchmarks per dataset/method/parameter; the
+// full parameter sweeps at larger scale live in cmd/experiments.
+//
+// Reported custom metrics mirror the paper's measures:
+// records/op = MAP_OUTPUT_RECORDS, MBtransfer/op = MAP_OUTPUT_BYTES,
+// ngrams/op = output size.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ngramstats/internal/core"
+	"ngramstats/internal/corpus"
+	"ngramstats/internal/sequence"
+	"ngramstats/internal/stats"
+	"ngramstats/internal/synth"
+)
+
+var (
+	benchOnce sync.Once
+	benchNYT  *corpus.Collection
+	benchCW   *corpus.Collection
+)
+
+// benchCorpora generates the benchmark-scale corpora once.
+func benchCorpora() (*corpus.Collection, *corpus.Collection) {
+	benchOnce.Do(func() {
+		benchNYT = synth.Generate(synth.NYTLike(250, 42))
+		benchCW = synth.Generate(synth.CWLike(500, 43))
+	})
+	return benchNYT, benchCW
+}
+
+func benchParams(b *testing.B, tau int64, sigma int) core.Params {
+	b.Helper()
+	return core.Params{
+		Tau:         tau,
+		Sigma:       sigma,
+		NumReducers: 4,
+		InputSplits: 8,
+		TempDir:     b.TempDir(),
+		Combiner:    true,
+	}
+}
+
+// runMethod executes one method run and reports the paper's measures
+// as custom benchmark metrics.
+func runMethod(b *testing.B, col *corpus.Collection, m core.Method, p core.Params) {
+	b.Helper()
+	var records, bytes, output int64
+	for i := 0; i < b.N; i++ {
+		run, err := core.Compute(context.Background(), col, m, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = run.RecordsTransferred()
+		bytes = run.BytesTransferred()
+		output = run.Result.Len()
+		if err := run.Result.Release(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(records), "records/op")
+	b.ReportMetric(float64(bytes)/(1<<20), "MBtransfer/op")
+	b.ReportMetric(float64(output), "ngrams/op")
+}
+
+// BenchmarkTable1DatasetCharacteristics measures computing the Table I
+// corpus statistics.
+func BenchmarkTable1DatasetCharacteristics(b *testing.B) {
+	nyt, cw := benchCorpora()
+	for _, col := range []*corpus.Collection{nyt, cw} {
+		b.Run(col.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := col.Stats()
+				if st.Documents == 0 {
+					b.Fatal("empty corpus")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2OutputCharacteristics measures the full τ=5, σ=∞
+// computation plus log-bucket histogramming of Figure 2.
+func BenchmarkFig2OutputCharacteristics(b *testing.B) {
+	nyt, cw := benchCorpora()
+	for _, col := range []*corpus.Collection{nyt, cw} {
+		b.Run(col.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run, err := core.Compute(context.Background(), col, core.SuffixSigma,
+					benchParams(b, 5, core.Unbounded))
+				if err != nil {
+					b.Fatal(err)
+				}
+				buckets := stats.NewBucket2D()
+				err = run.Result.Each(func(s sequence.Seq, cf int64) error {
+					buckets.Add(len(s), cf)
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if buckets.Total() == 0 {
+					b.Fatal("no output")
+				}
+				if err := run.Result.Release(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3UseCases measures the two Figure 3 use cases for every
+// method on both corpora.
+func BenchmarkFig3UseCases(b *testing.B) {
+	nyt, cw := benchCorpora()
+	cases := []struct {
+		name  string
+		col   *corpus.Collection
+		tau   int64
+		sigma int
+	}{
+		{"LanguageModel/NYT", nyt, 2, 5},
+		{"LanguageModel/CW", cw, 3, 5},
+		{"Analytics/NYT", nyt, 3, 100},
+		{"Analytics/CW", cw, 5, 100},
+	}
+	for _, c := range cases {
+		for _, m := range core.Methods() {
+			b.Run(fmt.Sprintf("%s/%s", c.name, m), func(b *testing.B) {
+				runMethod(b, c.col, m, benchParams(b, c.tau, c.sigma))
+			})
+		}
+	}
+}
+
+// BenchmarkFig4VaryMinFrequency measures the τ sweep of Figure 4 at
+// σ=5 on the NYT-like corpus.
+func BenchmarkFig4VaryMinFrequency(b *testing.B) {
+	nyt, _ := benchCorpora()
+	for _, tau := range []int64{2, 10, 50} {
+		for _, m := range core.Methods() {
+			b.Run(fmt.Sprintf("tau=%d/%s", tau, m), func(b *testing.B) {
+				runMethod(b, nyt, m, benchParams(b, tau, 5))
+			})
+		}
+	}
+}
+
+// BenchmarkFig5VaryMaxLength measures the σ sweep of Figure 5 on the
+// NYT-like corpus.
+func BenchmarkFig5VaryMaxLength(b *testing.B) {
+	nyt, _ := benchCorpora()
+	for _, sigma := range []int{5, 10, 50, 100} {
+		for _, m := range core.Methods() {
+			b.Run(fmt.Sprintf("sigma=%d/%s", sigma, m), func(b *testing.B) {
+				runMethod(b, nyt, m, benchParams(b, 3, sigma))
+			})
+		}
+	}
+}
+
+// BenchmarkFig6ScalingDatasets measures SUFFIX-σ on 25–100 % samples
+// (Figure 6).
+func BenchmarkFig6ScalingDatasets(b *testing.B) {
+	nyt, _ := benchCorpora()
+	for _, frac := range []int{25, 50, 75, 100} {
+		sample := nyt.Sample(float64(frac)/100, int64(frac))
+		b.Run(fmt.Sprintf("fraction=%d%%", frac), func(b *testing.B) {
+			runMethod(b, sample, core.SuffixSigma, benchParams(b, 3, 5))
+		})
+	}
+}
+
+// BenchmarkFig7ScalingSlots measures SUFFIX-σ under 1–8 map/reduce
+// slots (Figure 7).
+func BenchmarkFig7ScalingSlots(b *testing.B) {
+	nyt, _ := benchCorpora()
+	for _, slots := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("slots=%d", slots), func(b *testing.B) {
+			p := benchParams(b, 3, 5)
+			p.MapSlots = slots
+			p.ReduceSlots = slots
+			runMethod(b, nyt, core.SuffixSigma, p)
+		})
+	}
+}
+
+// BenchmarkAblationStackVsHashmap compares the reverse-lexicographic
+// two-stack reducer against the in-memory hashmap strawman of
+// Section IV at the analytics setting.
+func BenchmarkAblationStackVsHashmap(b *testing.B) {
+	nyt, _ := benchCorpora()
+	for _, m := range []core.Method{core.SuffixSigma, core.SuffixSigmaNaive} {
+		b.Run(string(m), func(b *testing.B) {
+			runMethod(b, nyt, m, benchParams(b, 3, 100))
+		})
+	}
+}
+
+// BenchmarkAblationCombiner measures NAÏVE with and without map-side
+// local aggregation (Section V).
+func BenchmarkAblationCombiner(b *testing.B) {
+	nyt, _ := benchCorpora()
+	for _, combine := range []bool{true, false} {
+		b.Run(fmt.Sprintf("combiner=%v", combine), func(b *testing.B) {
+			p := benchParams(b, 3, 5)
+			p.Combiner = combine
+			runMethod(b, nyt, core.Naive, p)
+		})
+	}
+}
+
+// BenchmarkAblationDocSplit measures SUFFIX-σ with and without the
+// document-split pre-processing at large σ (Section V).
+func BenchmarkAblationDocSplit(b *testing.B) {
+	nyt, _ := benchCorpora()
+	for _, split := range []bool{false, true} {
+		b.Run(fmt.Sprintf("docsplit=%v", split), func(b *testing.B) {
+			p := benchParams(b, 5, 100)
+			p.DocSplit = split
+			runMethod(b, nyt, core.SuffixSigma, p)
+		})
+	}
+}
+
+// BenchmarkPublicAPI measures the end-to-end facade path (corpus from
+// text, count, top-k) a downstream user exercises.
+func BenchmarkPublicAPI(b *testing.B) {
+	docs := make([]string, 50)
+	for i := range docs {
+		docs[i] = "the quick brown fox jumps over the lazy dog. the quick brown fox sleeps."
+	}
+	c, err := FromText("api", docs, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Count(context.Background(), c, Options{
+			MinFrequency: 5, MaxLength: 4, TempDir: b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.TopK(10); err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Release(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

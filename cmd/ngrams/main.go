@@ -1,0 +1,141 @@
+// Command ngrams computes n-gram statistics over text files.
+//
+// Usage:
+//
+//	ngrams [flags] file.txt...
+//	cat corpus.txt | ngrams [flags]
+//
+// Each input file is one document (with stdin, each line is one
+// document). Example:
+//
+//	ngrams -tau 5 -sigma 5 -top 20 books/*.txt
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"ngramstats"
+)
+
+func main() {
+	var (
+		method   = flag.String("method", "suffix-sigma", "algorithm: naive | apriori-scan | apriori-index | suffix-sigma")
+		tau      = flag.Int64("tau", 2, "minimum collection frequency τ")
+		sigma    = flag.Int("sigma", 5, "maximum n-gram length σ (0 = unbounded)")
+		top      = flag.Int("top", 25, "print the k most frequent n-grams (0 = all)")
+		longest  = flag.Int("longest", 0, "also print the k longest n-grams")
+		maximal  = flag.Bool("maximal", false, "report only maximal n-grams")
+		closed   = flag.Bool("closed", false, "report only closed n-grams")
+		combine  = flag.Bool("combiner", true, "use map-side local aggregation")
+		docsplit = flag.Bool("docsplit", false, "split documents at infrequent terms first")
+		web      = flag.Bool("web", false, "apply boilerplate filtering (web pages)")
+		df       = flag.Bool("df", false, "also report document frequencies (distinct documents)")
+		stats    = flag.Bool("stats", false, "print run statistics (jobs, bytes, records, time)")
+	)
+	flag.Parse()
+
+	docs, err := readDocuments(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ngrams:", err)
+		os.Exit(1)
+	}
+	if len(docs) == 0 {
+		fmt.Fprintln(os.Stderr, "ngrams: no input documents")
+		os.Exit(1)
+	}
+
+	var corpus *ngramstats.Corpus
+	if *web {
+		corpus, err = ngramstats.FromWebText("input", docs, nil)
+	} else {
+		corpus, err = ngramstats.FromText("input", docs, nil)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ngrams:", err)
+		os.Exit(1)
+	}
+
+	opts := ngramstats.Options{
+		Method:         ngramstats.Method(*method),
+		MinFrequency:   *tau,
+		MaxLength:      *sigma,
+		Combiner:       *combine,
+		DocumentSplits: *docsplit,
+	}
+	switch {
+	case *maximal:
+		opts.Selection = ngramstats.SelectMaximal
+	case *closed:
+		opts.Selection = ngramstats.SelectClosed
+	}
+	if *df {
+		opts.Aggregation = ngramstats.DocumentIndex
+	}
+
+	result, err := ngramstats.Count(context.Background(), corpus, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ngrams:", err)
+		os.Exit(1)
+	}
+	defer result.Release()
+
+	k := *top
+	if k == 0 {
+		k = int(result.Len())
+	}
+	ngrams, err := result.TopK(k)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ngrams:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%d n-grams with cf >= %d (sigma = %d)\n", result.Len(), *tau, *sigma)
+	for _, ng := range ngrams {
+		if *df {
+			fmt.Printf("%10d  df=%-6d %s\n", ng.Frequency, len(ng.Documents), ng.Text)
+		} else {
+			fmt.Printf("%10d  %s\n", ng.Frequency, ng.Text)
+		}
+	}
+	if *longest > 0 {
+		fmt.Printf("\nlongest n-grams:\n")
+		lngrams, err := result.Longest(*longest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ngrams:", err)
+			os.Exit(1)
+		}
+		for _, ng := range lngrams {
+			fmt.Printf("%4d words x%d  %s\n", ng.Length(), ng.Frequency, ng.Text)
+		}
+	}
+	if *stats {
+		fmt.Printf("\njobs=%d wallclock=%v bytes=%d records=%d\n",
+			result.Jobs(), result.Wallclock(), result.BytesTransferred(), result.RecordsTransferred())
+	}
+}
+
+func readDocuments(paths []string) ([]string, error) {
+	if len(paths) == 0 {
+		var docs []string
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 16<<20)
+		for sc.Scan() {
+			if line := sc.Text(); line != "" {
+				docs = append(docs, line)
+			}
+		}
+		return docs, sc.Err()
+	}
+	docs := make([]string, 0, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, string(b))
+	}
+	return docs, nil
+}

@@ -1,0 +1,177 @@
+package ngramstats
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ngramstats/internal/corpus"
+	"ngramstats/internal/synth"
+)
+
+// Corpus is a document collection prepared for n-gram computation:
+// boilerplate-filtered, sentence-split, tokenized, and encoded as
+// integer term sequences with a frequency-ranked dictionary.
+type Corpus struct {
+	col *corpus.Collection
+}
+
+// CorpusStats summarizes a corpus (the paper's Table I).
+type CorpusStats struct {
+	Documents       int64
+	TermOccurrences int64
+	DistinctTerms   int64
+	Sentences       int64
+	SentenceLenMean float64
+	SentenceLenSD   float64
+}
+
+// FromText builds a corpus from raw document texts. years may be nil
+// or must have one publication year per document (used by time-series
+// aggregation).
+func FromText(name string, docs []string, years []int) (*Corpus, error) {
+	col, err := corpus.FromText(name, docs, years, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{col: col}, nil
+}
+
+// FromWebText builds a corpus from raw web page texts, applying
+// boilerplate filtering before sentence detection (the ClueWeb09-B
+// pre-processing of the paper).
+func FromWebText(name string, docs []string, years []int) (*Corpus, error) {
+	col, err := corpus.FromText(name, docs, years, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{col: col}, nil
+}
+
+// FromTextFiles builds a corpus with one document per file path.
+func FromTextFiles(name string, paths []string) (*Corpus, error) {
+	docs := make([]string, len(paths))
+	for i, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("ngramstats: read %s: %w", p, err)
+		}
+		docs[i] = string(b)
+	}
+	return FromText(name, docs, nil)
+}
+
+// SyntheticNYT generates the NYT-like evaluation corpus at the given
+// document count: clean Zipfian news text over 1987–2007 with injected
+// quotations, recipes and chess openings (the long frequent n-grams
+// the paper observes in The New York Times Annotated Corpus).
+func SyntheticNYT(docs int, seed int64) *Corpus {
+	return &Corpus{col: synth.Generate(synth.NYTLike(docs, seed))}
+}
+
+// SyntheticCW generates the ClueWeb09-B-like evaluation corpus:
+// noisier web text from 2009 with repeated spam blocks and stack
+// traces.
+func SyntheticCW(docs int, seed int64) *Corpus {
+	return &Corpus{col: synth.Generate(synth.CWLike(docs, seed))}
+}
+
+// Load reads a corpus previously persisted with Save.
+func Load(name, dir string) (*Corpus, error) {
+	col, err := corpus.ReadShards(name, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{col: col}, nil
+}
+
+// Save persists the corpus into dir as a dictionary file plus the given
+// number of binary shards.
+func (c *Corpus) Save(dir string, shards int) error {
+	return corpus.WriteShards(c.col, dir, shards)
+}
+
+// Name returns the corpus label.
+func (c *Corpus) Name() string { return c.col.Name }
+
+// Stats computes corpus characteristics.
+func (c *Corpus) Stats() CorpusStats {
+	st := c.col.Stats()
+	return CorpusStats{
+		Documents:       st.Documents,
+		TermOccurrences: st.TermOccurrences,
+		DistinctTerms:   st.DistinctTerms,
+		Sentences:       st.Sentences,
+		SentenceLenMean: st.SentenceLenMean,
+		SentenceLenSD:   st.SentenceLenSD,
+	}
+}
+
+// Sample returns a corpus containing a random fraction of the
+// documents, drawn deterministically from seed.
+func (c *Corpus) Sample(fraction float64, seed int64) *Corpus {
+	return &Corpus{col: c.col.Sample(fraction, seed)}
+}
+
+// Split partitions the corpus into two disjoint document sets of the
+// given fraction (train) and its complement (test), deterministically
+// from seed.
+func (c *Corpus) Split(fraction float64, seed int64) (train, test *Corpus) {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	n := int(fraction * float64(len(c.col.Docs)))
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(c.col.Docs))
+	tr := &corpus.Collection{Name: c.col.Name + "-train", Dict: c.col.Dict}
+	te := &corpus.Collection{Name: c.col.Name + "-test", Dict: c.col.Dict}
+	for i, idx := range perm {
+		if i < n {
+			tr.Docs = append(tr.Docs, c.col.Docs[idx])
+		} else {
+			te.Docs = append(te.Docs, c.col.Docs[idx])
+		}
+	}
+	return &Corpus{col: tr}, &Corpus{col: te}
+}
+
+// Sentences returns up to limit sentences of the corpus as word
+// slices (limit ≤ 0 returns all).
+func (c *Corpus) Sentences(limit int) [][]string {
+	var out [][]string
+	for i := range c.col.Docs {
+		for _, s := range c.col.Docs[i].Sentences {
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+			words := make([]string, len(s))
+			for j, id := range s {
+				words[j] = c.Term(id)
+			}
+			out = append(out, words)
+		}
+	}
+	return out
+}
+
+// Term returns the word for a term identifier, or "" if unknown.
+func (c *Corpus) Term(id uint32) string {
+	if c.col.Dict == nil {
+		return ""
+	}
+	return c.col.Dict.Term(id)
+}
+
+// TermID returns the identifier of a word.
+func (c *Corpus) TermID(word string) (uint32, bool) {
+	if c.col.Dict == nil {
+		return 0, false
+	}
+	return c.col.Dict.ID(word)
+}
+
+// collection exposes the underlying collection to sibling files.
+func (c *Corpus) collection() *corpus.Collection { return c.col }

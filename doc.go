@@ -1,0 +1,55 @@
+// Package ngramstats computes n-gram statistics over document
+// collections with MapReduce-style distributed data processing, as
+// described in:
+//
+//	Klaus Berberich, Srikanta Bedathur.
+//	"Computing n-Gram Statistics in MapReduce." EDBT 2013.
+//
+// Given a collection of documents, a minimum collection frequency τ and
+// a maximum length σ, the library identifies every n-gram (contiguous
+// sequence of words, respecting sentence boundaries) occurring at least
+// τ times with at most σ words, together with its exact number of
+// occurrences. Four algorithms are provided:
+//
+//   - MethodNaive: word counting extended to all n-grams (Algorithm 1);
+//   - MethodAprioriScan: one pruned scan per n-gram length, using the
+//     APRIORI principle (Algorithm 2);
+//   - MethodAprioriIndex: builds a positional inverted index and joins
+//     posting lists for longer n-grams (Algorithm 3);
+//   - MethodSuffixSigma: the paper's contribution — a single job that
+//     sorts truncated suffixes in reverse lexicographic order and
+//     aggregates with two stacks (Algorithm 4). It dominates the
+//     alternatives for long and/or infrequent n-grams and matches them
+//     elsewhere.
+//
+// The MapReduce substrate is an in-process runtime faithful to Hadoop's
+// programming model (mappers, combiners, partitioners, sort
+// comparators, reducers, counters, slot-bounded parallelism, spill-to-
+// disk shuffle), so the same algorithm structure, data movement, and
+// measures the paper reports are observable locally via Result
+// counters.
+//
+// Beyond plain counting, SUFFIX-σ supports restricting output to
+// maximal or closed n-grams and aggregations beyond occurrence counting
+// (per-year time series, per-document inverted indexes) — the
+// extensions of Section VI of the paper.
+//
+// # Quick start
+//
+//	corpus, err := ngramstats.FromText("demo", []string{
+//		"a rose is a rose is a rose",
+//	}, nil)
+//	if err != nil { ... }
+//	result, err := ngramstats.Count(ctx, corpus, ngramstats.Options{
+//		MinFrequency: 2,
+//		MaxLength:    3,
+//	})
+//	if err != nil { ... }
+//	for _, ng := range result.TopK(10) {
+//		fmt.Printf("%6d  %s\n", ng.Frequency, ng.Text)
+//	}
+//
+// See the examples directory for complete programs, including the
+// paper's two evaluation use cases (language-model training and long
+// n-gram text analytics) and the time-series extension.
+package ngramstats

@@ -1,0 +1,74 @@
+// Phrase search: the inverted-index by-product of APRIORI-INDEX
+// (Section III-B).
+//
+// APRIORI-INDEX does not just count n-grams — it materializes a
+// positional inverted index of every frequent n-gram, which "can be
+// used to quickly determine the locations of a specific frequent
+// n-gram". This example builds the index over a small literary corpus
+// and answers phrase queries: how often, and exactly where, a phrase
+// occurs.
+//
+// Run with:
+//
+//	go run ./examples/phrasesearch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"ngramstats"
+)
+
+func main() {
+	docs := []string{
+		"It was the best of times. It was the worst of times. " +
+			"It was the age of wisdom. It was the age of foolishness.",
+		"It was the season of light. It was the season of darkness. " +
+			"It was the spring of hope. It was the winter of despair.",
+		"We had everything before us. We had nothing before us. " +
+			"It was the best of times indeed.",
+	}
+	corpus, err := ngramstats.FromText("tale", docs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	index, err := ngramstats.BuildPhraseIndex(context.Background(), corpus, ngramstats.Options{
+		MinFrequency: 2,
+		MaxLength:    5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d phrases (longest: %d words)\n\n", index.Len(), index.MaxLength())
+
+	for _, phrase := range []string{
+		"it was the",
+		"the best of times",
+		"before us",
+		"the winter of despair", // occurs once: below τ=2, not indexed
+	} {
+		cf, ok, err := index.Frequency(phrase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			fmt.Printf("%-24q not indexed (cf < 2 or too long)\n", phrase)
+			continue
+		}
+		locs, err := index.Locations(phrase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24q cf=%d at ", phrase, cf)
+		for i, l := range locs {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("doc%d:%d", l.DocID, l.Position)
+		}
+		fmt.Println()
+	}
+}

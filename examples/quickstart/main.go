@@ -1,0 +1,53 @@
+// Quickstart: compute n-gram statistics over a few documents with the
+// default method (SUFFIX-σ) and print every frequent n-gram.
+//
+// The input is the running example of the paper (Section III): three
+// documents over the vocabulary {a, b, x}. With τ=3 and σ=3 the
+// expected output is
+//
+//	⟨a⟩:3 ⟨b⟩:5 ⟨x⟩:7 ⟨a x⟩:3 ⟨x b⟩:4 ⟨a x b⟩:3
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"ngramstats"
+)
+
+func main() {
+	corpus, err := ngramstats.FromText("running-example", []string{
+		"a x b x x",
+		"b a x b x",
+		"x b a x b",
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := ngramstats.Count(context.Background(), corpus, ngramstats.Options{
+		MinFrequency: 3, // τ
+		MaxLength:    3, // σ
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer result.Release()
+
+	fmt.Printf("%d n-grams with cf >= 3 and length <= 3:\n\n", result.Len())
+	ngrams, err := result.TopK(int(result.Len()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ng := range ngrams {
+		fmt.Printf("  cf=%d  ⟨%s⟩\n", ng.Frequency, ng.Text)
+	}
+
+	fmt.Printf("\nrun: %d job(s), %v, %d records shuffled\n",
+		result.Jobs(), result.Wallclock(), result.RecordsTransferred())
+}

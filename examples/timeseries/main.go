@@ -1,0 +1,76 @@
+// Time series: the aggregation extension of Section VI-B.
+//
+// Instead of a single count per n-gram, SUFFIX-σ aggregates per-year
+// occurrence counts from document timestamps — the n-gram time series
+// popularized by Michel et al.'s culturomics work. The same lazy
+// stack-merging applies; only the aggregate cells change.
+//
+// Run with:
+//
+//	go run ./examples/timeseries
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"ngramstats"
+)
+
+const (
+	yearLo = 1987
+	yearHi = 2007
+)
+
+func main() {
+	ctx := context.Background()
+	corpus := ngramstats.SyntheticNYT(2500, 33) // documents span 1987–2007
+
+	result, err := ngramstats.Count(ctx, corpus, ngramstats.Options{
+		MinFrequency: 30,
+		MaxLength:    2,
+		Aggregation:  ngramstats.TimeSeries,
+		Combiner:     true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer result.Release()
+	fmt.Printf("%d n-grams with per-year counts (tau=30, sigma=2)\n\n", result.Len())
+
+	// Collect bigram series and show the busiest ones as sparklines.
+	type entry struct {
+		ng ngramstats.NGram
+	}
+	var bigrams []ngramstats.NGram
+	err = result.Each(func(ng ngramstats.NGram) error {
+		if ng.Length() == 2 {
+			bigrams = append(bigrams, ng)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(bigrams, func(i, j int) bool { return bigrams[i].Frequency > bigrams[j].Frequency })
+	if len(bigrams) > 8 {
+		bigrams = bigrams[:8]
+	}
+
+	fmt.Printf("top bigram time series, %d-%d:\n", yearLo, yearHi)
+	for _, ng := range bigrams {
+		s := ng.Series(yearLo, yearHi)
+		peak, _ := s.PeakYear()
+		fmt.Printf("  %-18s cf=%-5d %s  peak %d\n", ng.Text, ng.Frequency, s.Sparkline(), peak)
+	}
+
+	// Correlate the two busiest series (smoothed).
+	if len(bigrams) >= 2 {
+		a := bigrams[0].Series(yearLo, yearHi).MovingAverage(3)
+		b := bigrams[1].Series(yearLo, yearHi).MovingAverage(3)
+		fmt.Printf("\ncorrelation of %q and %q (3y smoothed): %.2f\n",
+			bigrams[0].Text, bigrams[1].Text, ngramstats.Correlation(a, b))
+	}
+}

@@ -1,0 +1,86 @@
+package ngramstats
+
+import (
+	"context"
+	"strings"
+
+	"ngramstats/internal/core"
+	"ngramstats/internal/sequence"
+)
+
+// PhraseIndex is a positional inverted index over all frequent n-grams
+// of a corpus — the queryable by-product of the APRIORI-INDEX method
+// (Section III-B of the paper). It answers where and how often any
+// indexed phrase occurs.
+type PhraseIndex struct {
+	corpus *Corpus
+	index  *core.Index
+}
+
+// Occurrence is one location of a phrase.
+type Occurrence struct {
+	// DocID is the containing document.
+	DocID int64
+	// Position is the document-global term position (sentences are
+	// separated by a gap of one position).
+	Position uint32
+}
+
+// BuildPhraseIndex indexes every n-gram with at least MinFrequency
+// occurrences and at most MaxLength words. Only MinFrequency,
+// MaxLength, and the resource options of opts are consulted.
+func BuildPhraseIndex(ctx context.Context, c *Corpus, opts Options) (*PhraseIndex, error) {
+	_, params := opts.params()
+	idx, err := core.BuildIndex(ctx, c.collection(), params)
+	if err != nil {
+		return nil, err
+	}
+	return &PhraseIndex{corpus: c, index: idx}, nil
+}
+
+// Len returns the number of indexed phrases.
+func (px *PhraseIndex) Len() int { return px.index.Len() }
+
+// MaxLength returns the longest indexed phrase length.
+func (px *PhraseIndex) MaxLength() int { return px.index.MaxLength() }
+
+func (px *PhraseIndex) encode(phrase string) (sequence.Seq, bool) {
+	words := strings.Fields(phrase)
+	ids := make(sequence.Seq, len(words))
+	for i, w := range words {
+		id, ok := px.corpus.TermID(strings.ToLower(w))
+		if !ok {
+			return nil, false
+		}
+		ids[i] = id
+	}
+	return ids, true
+}
+
+// Frequency returns the collection frequency of a phrase, or false if
+// the phrase is not indexed (below the frequency threshold, too long,
+// or containing unknown words).
+func (px *PhraseIndex) Frequency(phrase string) (int64, bool, error) {
+	ids, ok := px.encode(phrase)
+	if !ok {
+		return 0, false, nil
+	}
+	return px.index.CF(ids)
+}
+
+// Locations returns every occurrence of a phrase (nil if not indexed).
+func (px *PhraseIndex) Locations(phrase string) ([]Occurrence, error) {
+	ids, ok := px.encode(phrase)
+	if !ok {
+		return nil, nil
+	}
+	locs, err := px.index.Locations(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Occurrence, len(locs))
+	for i, l := range locs {
+		out[i] = Occurrence{DocID: l.DocID, Position: l.Position}
+	}
+	return out, nil
+}

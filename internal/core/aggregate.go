@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ngramstats/internal/encoding"
+)
+
+// AggregationKind selects what SUFFIX-σ aggregates per n-gram beyond
+// plain occurrence counting (Section VI-B).
+type AggregationKind int
+
+const (
+	// AggCount aggregates occurrence counts (the paper's main setting).
+	AggCount AggregationKind = iota
+	// AggTimeSeries aggregates per-year occurrence counts from document
+	// timestamps, producing n-gram time series in the style of Michel et
+	// al. ("culturomics").
+	AggTimeSeries
+	// AggDocIndex aggregates per-document occurrence counts, i.e. an
+	// inverted index recording how often every n-gram occurs in
+	// individual documents (first bullet of Section VI-B).
+	AggDocIndex
+)
+
+func (k AggregationKind) String() string {
+	switch k {
+	case AggTimeSeries:
+		return "timeseries"
+	case AggDocIndex:
+		return "docindex"
+	default:
+		return "count"
+	}
+}
+
+// Aggregate is one cell of aggregated information about an n-gram. The
+// SUFFIX-σ reducer keeps a stack of Aggregates parallel to its term
+// stack and merges cells lazily as suffixes are popped.
+type Aggregate interface {
+	// Add folds one map-output value into the cell.
+	Add(value []byte) error
+	// Merge folds another cell of the same kind into this one.
+	Merge(other Aggregate)
+	// Frequency returns the total occurrence count the cell represents,
+	// used for the cf ≥ τ test.
+	Frequency() int64
+	// Encode serializes the cell as an output value.
+	Encode() []byte
+}
+
+// newAggregate returns an empty cell of the given kind.
+func newAggregate(kind AggregationKind) Aggregate {
+	switch kind {
+	case AggTimeSeries:
+		return &timeSeriesAggregate{counts: make(map[int]int64)}
+	case AggDocIndex:
+		return &docIndexAggregate{counts: make(map[int64]int64)}
+	default:
+		return &countAggregate{}
+	}
+}
+
+// mapValue encodes the map-output value SUFFIX-σ emits for one suffix
+// occurrence under the given aggregation: the per-occurrence singleton
+// cell. All kinds share the property that the value of a combiner
+// output (a merged cell) is decodable by Add, so combiners work
+// uniformly.
+func mapValue(kind AggregationKind, doc *docMeta) []byte {
+	switch kind {
+	case AggTimeSeries:
+		// Singleton time series: one (year, count) pair.
+		b := encoding.AppendUvarint(nil, 1)
+		b = encoding.AppendUvarint(b, uint64(doc.year))
+		return encoding.AppendUvarint(b, 1)
+	case AggDocIndex:
+		b := encoding.AppendUvarint(nil, 1)
+		b = encoding.AppendUvarint(b, uint64(doc.docID))
+		return encoding.AppendUvarint(b, 1)
+	default:
+		return encoding.AppendUvarint(nil, 1)
+	}
+}
+
+// docMeta carries the per-document metadata available to mapValue.
+type docMeta struct {
+	docID int64
+	year  int
+}
+
+// decodeFrequency extracts the total occurrence count from an encoded
+// aggregate value.
+func decodeFrequency(kind AggregationKind, v []byte) (int64, error) {
+	agg, err := decodeAggregate(kind, v)
+	if err != nil {
+		return 0, err
+	}
+	return agg.Frequency(), nil
+}
+
+// decodeAggregate decodes an encoded aggregate value of the given kind.
+func decodeAggregate(kind AggregationKind, v []byte) (Aggregate, error) {
+	agg := newAggregate(kind)
+	if err := agg.Add(v); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+// countAggregate counts occurrences. Encoded form: uvarint(count).
+type countAggregate struct {
+	n int64
+}
+
+func (c *countAggregate) Add(value []byte) error {
+	v, n := encoding.Uvarint(value)
+	if n <= 0 || n != len(value) {
+		return fmt.Errorf("core: %w: count value", encoding.ErrCorrupt)
+	}
+	c.n += int64(v)
+	return nil
+}
+
+func (c *countAggregate) Merge(other Aggregate) { c.n += other.(*countAggregate).n }
+
+func (c *countAggregate) Frequency() int64 { return c.n }
+
+func (c *countAggregate) Encode() []byte { return encoding.AppendUvarint(nil, uint64(c.n)) }
+
+// timeSeriesAggregate counts occurrences per publication year. Encoded
+// form: uvarint(#pairs) then (uvarint(year), uvarint(count))… sorted by
+// year.
+type timeSeriesAggregate struct {
+	counts map[int]int64
+}
+
+func (t *timeSeriesAggregate) Add(value []byte) error {
+	pairs, n := encoding.Uvarint(value)
+	if n <= 0 {
+		return fmt.Errorf("core: %w: time series pair count", encoding.ErrCorrupt)
+	}
+	value = value[n:]
+	for i := uint64(0); i < pairs; i++ {
+		year, n := encoding.Uvarint(value)
+		if n <= 0 {
+			return fmt.Errorf("core: %w: time series year", encoding.ErrCorrupt)
+		}
+		value = value[n:]
+		count, n := encoding.Uvarint(value)
+		if n <= 0 {
+			return fmt.Errorf("core: %w: time series count", encoding.ErrCorrupt)
+		}
+		value = value[n:]
+		t.counts[int(year)] += int64(count)
+	}
+	if len(value) != 0 {
+		return fmt.Errorf("core: %w: time series trailing bytes", encoding.ErrCorrupt)
+	}
+	return nil
+}
+
+func (t *timeSeriesAggregate) Merge(other Aggregate) {
+	for y, c := range other.(*timeSeriesAggregate).counts {
+		t.counts[y] += c
+	}
+}
+
+func (t *timeSeriesAggregate) Frequency() int64 {
+	var n int64
+	for _, c := range t.counts {
+		n += c
+	}
+	return n
+}
+
+func (t *timeSeriesAggregate) Encode() []byte {
+	years := make([]int, 0, len(t.counts))
+	for y := range t.counts {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	b := encoding.AppendUvarint(nil, uint64(len(years)))
+	for _, y := range years {
+		b = encoding.AppendUvarint(b, uint64(y))
+		b = encoding.AppendUvarint(b, uint64(t.counts[y]))
+	}
+	return b
+}
+
+// Years returns the per-year counts of a time-series aggregate.
+func (t *timeSeriesAggregate) Years() map[int]int64 { return t.counts }
+
+// TimeSeriesCounts extracts the per-year counts from an aggregate
+// produced under AggTimeSeries. It returns false if the aggregate is of
+// a different kind.
+func TimeSeriesCounts(a Aggregate) (map[int]int64, bool) {
+	t, ok := a.(*timeSeriesAggregate)
+	if !ok {
+		return nil, false
+	}
+	return t.counts, true
+}
+
+// docIndexAggregate counts occurrences per document. Encoded form:
+// uvarint(#pairs) then (uvarint(docID), uvarint(count))… sorted by
+// document.
+type docIndexAggregate struct {
+	counts map[int64]int64
+}
+
+func (d *docIndexAggregate) Add(value []byte) error {
+	pairs, n := encoding.Uvarint(value)
+	if n <= 0 {
+		return fmt.Errorf("core: %w: doc index pair count", encoding.ErrCorrupt)
+	}
+	value = value[n:]
+	for i := uint64(0); i < pairs; i++ {
+		doc, n := encoding.Uvarint(value)
+		if n <= 0 {
+			return fmt.Errorf("core: %w: doc index docID", encoding.ErrCorrupt)
+		}
+		value = value[n:]
+		count, n := encoding.Uvarint(value)
+		if n <= 0 {
+			return fmt.Errorf("core: %w: doc index count", encoding.ErrCorrupt)
+		}
+		value = value[n:]
+		d.counts[int64(doc)] += int64(count)
+	}
+	if len(value) != 0 {
+		return fmt.Errorf("core: %w: doc index trailing bytes", encoding.ErrCorrupt)
+	}
+	return nil
+}
+
+func (d *docIndexAggregate) Merge(other Aggregate) {
+	for doc, c := range other.(*docIndexAggregate).counts {
+		d.counts[doc] += c
+	}
+}
+
+func (d *docIndexAggregate) Frequency() int64 {
+	var n int64
+	for _, c := range d.counts {
+		n += c
+	}
+	return n
+}
+
+func (d *docIndexAggregate) Encode() []byte {
+	docs := make([]int64, 0, len(d.counts))
+	for doc := range d.counts {
+		docs = append(docs, doc)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	b := encoding.AppendUvarint(nil, uint64(len(docs)))
+	for _, doc := range docs {
+		b = encoding.AppendUvarint(b, uint64(doc))
+		b = encoding.AppendUvarint(b, uint64(d.counts[doc]))
+	}
+	return b
+}
+
+// DocIndexCounts extracts the per-document counts from an aggregate
+// produced under AggDocIndex. It returns false if the aggregate is of a
+// different kind.
+func DocIndexCounts(a Aggregate) (map[int64]int64, bool) {
+	d, ok := a.(*docIndexAggregate)
+	if !ok {
+		return nil, false
+	}
+	return d.counts, true
+}
+
+// DocumentFrequency returns the number of distinct documents in an
+// AggDocIndex aggregate — the df(s) notion of Section II.
+func DocumentFrequency(a Aggregate) (int64, bool) {
+	d, ok := a.(*docIndexAggregate)
+	if !ok {
+		return 0, false
+	}
+	return int64(len(d.counts)), true
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ngramstats/internal/corpus"
+	"ngramstats/internal/encoding"
+	"ngramstats/internal/sequence"
+)
+
+// documentFrequencyOracle computes df(s) — the number of documents
+// containing s at least once (the "support" notion of frequent sequence
+// mining, Section II) — for every n-gram with cf ≥ tau.
+func documentFrequencyOracle(col *corpus.Collection, tau int64, sigma int) map[string]int64 {
+	cf := BruteForce(col, tau, sigma)
+	df := make(map[string]int64, len(cf))
+	for k := range cf {
+		s, err := encoding.DecodeSeq([]byte(k))
+		if err != nil {
+			continue
+		}
+		var n int64
+		for i := range col.Docs {
+			found := false
+			for _, sent := range col.Docs[i].Sentences {
+				if sequence.Occurrences(s, sent) > 0 {
+					found = true
+					break
+				}
+			}
+			if found {
+				n++
+			}
+		}
+		df[k] = n
+	}
+	return df
+}
+
+// TestDocumentFrequencyViaDocIndex verifies the paper's Section II
+// remark that the methods can produce document frequencies: SUFFIX-σ
+// with the doc-index aggregation yields df(s) = number of distinct
+// documents per n-gram, matching the brute-force oracle.
+func TestDocumentFrequencyViaDocIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 4; trial++ {
+		col := randomCollection(rng, 6+rng.Intn(4), 3, 10, 3)
+		tau := int64(1 + rng.Intn(3))
+		sigma := 2 + rng.Intn(5)
+		want := documentFrequencyOracle(col, tau, sigma)
+		p := Params{
+			Tau: tau, Sigma: sigma, NumReducers: 3, InputSplits: 2,
+			TempDir: t.TempDir(), Aggregation: AggDocIndex,
+		}
+		run, err := Compute(context.Background(), col, SuffixSigma, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]int64)
+		err = run.Result.EachAggregate(func(s sequence.Seq, agg Aggregate) error {
+			df, ok := DocumentFrequency(agg)
+			if !ok {
+				t.Fatalf("aggregate of %v is not a doc index", s)
+			}
+			got[string(encoding.EncodeSeq(s))] = df
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d n-grams, want %d", trial, len(got), len(want))
+		}
+		for k, df := range want {
+			if got[k] != df {
+				s, _ := encoding.DecodeSeq([]byte(k))
+				t.Fatalf("trial %d: df(%v) = %d, want %d", trial, s, got[k], df)
+			}
+		}
+	}
+}
+
+// TestDFNeverExceedsCF: df(s) ≤ cf(s) for every n-gram, with equality
+// iff no document repeats it.
+func TestDFNeverExceedsCF(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	col := randomCollection(rng, 8, 3, 12, 2) // tiny vocab → lots of repeats
+	cf := BruteForce(col, 1, 4)
+	df := documentFrequencyOracle(col, 1, 4)
+	repeats := 0
+	for k := range cf {
+		if df[k] > cf[k] {
+			t.Fatalf("df > cf for %x", k)
+		}
+		if df[k] < cf[k] {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Fatal("expected some within-document repeats with a 2-term vocabulary")
+	}
+}

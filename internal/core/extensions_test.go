@@ -1,0 +1,338 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"ngramstats/internal/encoding"
+	"ngramstats/internal/sequence"
+)
+
+// TestMaximalRunningExample checks the Section VI-A example: with τ=3,
+// σ=3 only ⟨a x b⟩ is maximal.
+func TestMaximalRunningExample(t *testing.T) {
+	p := testParams(t)
+	p.Select = SelectMaximal
+	run, err := Compute(context.Background(), runningExample(), SuffixSigma, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := run.Result.CountMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("maximal n-grams = %v, want only ⟨a x b⟩", got)
+	}
+	if got[keyOf(2, 0, 1)] != 3 {
+		t.Fatalf("cf(⟨a x b⟩) = %d, want 3", got[keyOf(2, 0, 1)])
+	}
+	// Maximality costs one extra post-filtering job.
+	if run.Jobs != 2 {
+		t.Fatalf("jobs = %d, want 2", run.Jobs)
+	}
+}
+
+// TestClosedRunningExample: closed n-grams keep ⟨a x b⟩ (cf 3) and also
+// every n-gram whose frequency differs from all its super-sequences:
+// ⟨x⟩:7, ⟨b⟩:5, ⟨x b⟩:4.
+func TestClosedRunningExample(t *testing.T) {
+	p := testParams(t)
+	p.Select = SelectClosed
+	run, err := Compute(context.Background(), runningExample(), SuffixSigma, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := run.Result.CountMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MaximalOracle(BruteForce(runningExample(), 3, 3), 3, SelectClosed)
+	if len(got) != len(want) {
+		t.Fatalf("closed = %v, want %v", got, want)
+	}
+	for k, cf := range want {
+		if got[k] != cf {
+			t.Fatalf("closed cf mismatch for %x: %d vs %d", k, got[k], cf)
+		}
+	}
+}
+
+// TestMaximalClosedMatchOracleOnRandomCorpora property-tests the
+// two-pass maximality/closedness filter against the brute-force
+// oracle.
+func TestMaximalClosedMatchOracleOnRandomCorpora(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 8; trial++ {
+		col := randomCollection(rng, 5+rng.Intn(5), 3, 10, 3)
+		tau := int64(2 + rng.Intn(3))
+		sigma := 2 + rng.Intn(6)
+		all := BruteForce(col, tau, sigma)
+		for _, mode := range []SelectMode{SelectMaximal, SelectClosed} {
+			want := MaximalOracle(all, tau, mode)
+			p := Params{
+				Tau: tau, Sigma: sigma, NumReducers: 3, InputSplits: 2,
+				TempDir: t.TempDir(), Select: mode,
+			}
+			run, err := Compute(context.Background(), col, SuffixSigma, p)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, mode, err)
+			}
+			got, err := run.Result.CountMap()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d %s (τ=%d σ=%d): %d n-grams, want %d\ngot  %v\nwant %v",
+					trial, mode, tau, sigma, len(got), len(want), got, want)
+			}
+			for k, cf := range want {
+				if got[k] != cf {
+					s, _ := encoding.DecodeSeq([]byte(k))
+					t.Fatalf("trial %d %s: cf(%v) = %d, want %d", trial, mode, s, got[k], cf)
+				}
+			}
+		}
+	}
+}
+
+// TestClosedReconstructsAllFrequencies verifies the paper's claim that
+// omitted n-grams can be reconstructed from the closed set "even with
+// their accurate collection frequency": cf(r) = max over closed s ⊒ r
+// of cf(s).
+func TestClosedReconstructsAllFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	col := randomCollection(rng, 8, 2, 10, 3)
+	tau, sigma := int64(2), 5
+	all := BruteForce(col, tau, sigma)
+	closed := MaximalOracle(all, tau, SelectClosed)
+	for k, cf := range all {
+		r, _ := encoding.DecodeSeq([]byte(k))
+		var best int64
+		for ck, ccf := range closed {
+			s, _ := encoding.DecodeSeq([]byte(ck))
+			if sequence.IsSubsequence(r, s) && ccf > best {
+				best = ccf
+			}
+		}
+		if best != cf {
+			t.Fatalf("reconstruction of cf(%v): got %d, want %d", r, best, cf)
+		}
+	}
+}
+
+// TestMaximalIsSubsetOfClosed: every maximal n-gram is closed, and both
+// are subsets of the full frequent set.
+func TestMaximalIsSubsetOfClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	col := randomCollection(rng, 10, 2, 12, 3)
+	tau, sigma := int64(2), 6
+	all := BruteForce(col, tau, sigma)
+	maximal := MaximalOracle(all, tau, SelectMaximal)
+	closed := MaximalOracle(all, tau, SelectClosed)
+	for k := range maximal {
+		if _, ok := closed[k]; !ok {
+			t.Fatalf("maximal n-gram %x not closed", k)
+		}
+	}
+	for k, cf := range closed {
+		if all[k] != cf {
+			t.Fatalf("closed n-gram %x has cf %d, want %d", k, cf, all[k])
+		}
+	}
+	if len(maximal) > len(closed) || len(closed) > len(all) {
+		t.Fatalf("sizes: maximal %d, closed %d, all %d", len(maximal), len(closed), len(all))
+	}
+}
+
+// TestTimeSeriesAggregation checks the Section VI-B extension: per-year
+// counts replace plain counts, and their totals equal the collection
+// frequencies.
+func TestTimeSeriesAggregation(t *testing.T) {
+	col := runningExample() // docs in years 1990, 1991, 1992
+	p := testParams(t)
+	p.Aggregation = AggTimeSeries
+	run, err := Compute(context.Background(), col, SuffixSigma, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := expectedRunningExample()
+	n := 0
+	err = run.Result.EachAggregate(func(s sequence.Seq, agg Aggregate) error {
+		n++
+		years, ok := TimeSeriesCounts(agg)
+		if !ok {
+			t.Fatalf("aggregate of %v is not a time series", s)
+		}
+		var total int64
+		for y, c := range years {
+			if y < 1990 || y > 1992 {
+				t.Fatalf("n-gram %v has impossible year %d", s, y)
+			}
+			total += c
+		}
+		k := string(encoding.EncodeSeq(s))
+		if total != want[k] {
+			t.Fatalf("time series total of %v = %d, want %d", s, total, want[k])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Fatalf("time series n-grams = %d, want %d", n, len(want))
+	}
+	// Spot-check ⟨a x b⟩: occurs once per document, one per year.
+	err = run.Result.EachAggregate(func(s sequence.Seq, agg Aggregate) error {
+		if sequence.Equal(s, sequence.Seq{2, 0, 1}) {
+			years, _ := TimeSeriesCounts(agg)
+			for y := 1990; y <= 1992; y++ {
+				if years[y] != 1 {
+					t.Fatalf("⟨a x b⟩ year %d count = %d, want 1", y, years[y])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimeSeriesWithCombiner: combiners merge singleton cells; results
+// must be identical with and without.
+func TestTimeSeriesWithCombiner(t *testing.T) {
+	col := runningExample()
+	collect := func(combine bool) map[string]int64 {
+		p := testParams(t)
+		p.Aggregation = AggTimeSeries
+		p.Combiner = combine
+		run, err := Compute(context.Background(), col, SuffixSigma, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := run.Result.CountMap()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := collect(false), collect(true)
+	if len(a) != len(b) {
+		t.Fatalf("combiner changed result size: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("combiner changed cf of %x", k)
+		}
+	}
+}
+
+// TestDocIndexAggregation checks the inverted-index aggregation: the
+// per-document counts of ⟨a x b⟩ are 1 in each of the three documents,
+// and document frequencies are consistent.
+func TestDocIndexAggregation(t *testing.T) {
+	col := runningExample()
+	p := testParams(t)
+	p.Aggregation = AggDocIndex
+	run, err := Compute(context.Background(), col, SuffixSigma, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	err = run.Result.EachAggregate(func(s sequence.Seq, agg Aggregate) error {
+		counts, ok := DocIndexCounts(agg)
+		if !ok {
+			t.Fatalf("aggregate of %v is not a doc index", s)
+		}
+		df, _ := DocumentFrequency(agg)
+		if df != int64(len(counts)) {
+			t.Fatalf("df inconsistent for %v", s)
+		}
+		if sequence.Equal(s, sequence.Seq{2, 0, 1}) {
+			seen++
+			if len(counts) != 3 {
+				t.Fatalf("⟨a x b⟩ in %d docs, want 3", len(counts))
+			}
+			for doc, c := range counts {
+				if c != 1 {
+					t.Fatalf("⟨a x b⟩ count in doc %d = %d, want 1", doc, c)
+				}
+			}
+		}
+		if sequence.Equal(s, sequence.Seq{0}) {
+			seen++
+			// ⟨x⟩: 3 in d1, 2 in d2, 2 in d3.
+			if counts[1] != 3 || counts[2] != 2 || counts[3] != 2 {
+				t.Fatalf("⟨x⟩ per-doc counts = %v", counts)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 2 {
+		t.Fatalf("spot-check n-grams seen = %d, want 2", seen)
+	}
+}
+
+// TestMaximalWithTimeSeries combines both extensions: maximality over
+// time-series aggregates.
+func TestMaximalWithTimeSeries(t *testing.T) {
+	p := testParams(t)
+	p.Select = SelectMaximal
+	p.Aggregation = AggTimeSeries
+	run, err := Compute(context.Background(), runningExample(), SuffixSigma, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := run.Result.CountMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[keyOf(2, 0, 1)] != 3 {
+		t.Fatalf("maximal time-series result = %v", got)
+	}
+}
+
+// TestHashmapVariantRejectsExtensions documents that the ablation
+// variant supports neither maximality nor non-count aggregations.
+func TestHashmapVariantRejectsExtensions(t *testing.T) {
+	p := testParams(t)
+	p.Select = SelectMaximal
+	if _, err := Compute(context.Background(), runningExample(), SuffixSigmaNaive, p); err == nil {
+		t.Fatal("expected error for maximality on hashmap variant")
+	}
+	p = testParams(t)
+	p.Aggregation = AggTimeSeries
+	if _, err := Compute(context.Background(), runningExample(), SuffixSigmaNaive, p); err == nil {
+		t.Fatal("expected error for time series on hashmap variant")
+	}
+}
+
+// TestDocumentFrequencyVsCollectionFrequency: df(s) ≤ cf(s) with
+// equality iff no document contains s twice.
+func TestDocumentFrequencyVsCollectionFrequency(t *testing.T) {
+	col := runningExample()
+	p := testParams(t)
+	p.Tau = 1
+	p.Aggregation = AggDocIndex
+	run, err := Compute(context.Background(), col, SuffixSigma, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run.Result.EachAggregate(func(s sequence.Seq, agg Aggregate) error {
+		df, _ := DocumentFrequency(agg)
+		cf := agg.Frequency()
+		if df > cf {
+			t.Fatalf("df(%v) = %d > cf = %d", s, df, cf)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

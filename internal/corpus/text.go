@@ -1,0 +1,171 @@
+// Package corpus models document collections: documents with metadata
+// (identifier, publication year), sentences of integer-encoded terms,
+// text pre-processing (tokenization, sentence-boundary detection,
+// boilerplate removal), a compact binary shard format, sampling, and
+// adapters that feed collections into MapReduce jobs.
+//
+// The pre-processing mirrors Section VII-B of the paper: sentence
+// boundaries act as barriers (no n-gram spans a sentence), web pages
+// pass a boilerplate filter before tokenization, and collections are
+// converted once into sequences of integer term identifiers spread over
+// binary shard files.
+package corpus
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lower-cases text and splits it into alphanumeric token runs.
+// Apostrophes inside words are kept ("don't" stays one token); all
+// other punctuation separates tokens.
+func Tokenize(text string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	prevLetter := false
+	runes := []rune(text)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			cur.WriteRune(unicode.ToLower(r))
+			prevLetter = true
+		case r == '\'' && prevLetter && i+1 < len(runes) &&
+			(unicode.IsLetter(runes[i+1]) || unicode.IsDigit(runes[i+1])):
+			cur.WriteRune(r)
+		default:
+			flush()
+			prevLetter = false
+		}
+	}
+	flush()
+	return tokens
+}
+
+// SplitSentences performs rule-based sentence-boundary detection, the
+// stand-in for the OpenNLP detector the paper uses: a sentence ends at
+// '.', '!', '?' or a newline, except that a period does not terminate
+// a sentence when it follows a single-letter token or a known
+// abbreviation, or when no whitespace follows it (e.g. "3.14",
+// "e.g.x").
+func SplitSentences(text string) []string {
+	var sentences []string
+	var cur strings.Builder
+	runes := []rune(text)
+	flush := func() {
+		s := strings.TrimSpace(cur.String())
+		if s != "" {
+			sentences = append(sentences, s)
+		}
+		cur.Reset()
+	}
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		switch r {
+		case '\n':
+			flush()
+		case '!', '?':
+			cur.WriteRune(r)
+			flush()
+		case '.':
+			cur.WriteRune(r)
+			if isSentenceEnd(runes, i) {
+				flush()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return sentences
+}
+
+// abbreviations that do not end sentences even when followed by a space
+// and an upper-case letter.
+var abbreviations = map[string]bool{
+	"mr": true, "mrs": true, "ms": true, "dr": true, "prof": true,
+	"st": true, "jr": true, "sr": true, "vs": true, "etc": true,
+	"inc": true, "ltd": true, "co": true, "corp": true, "gov": true,
+	"sen": true, "rep": true, "gen": true, "col": true, "capt": true,
+	"jan": true, "feb": true, "mar": true, "apr": true, "jun": true,
+	"jul": true, "aug": true, "sep": true, "sept": true, "oct": true,
+	"nov": true, "dec": true, "no": true, "fig": true, "al": true,
+}
+
+func isSentenceEnd(runes []rune, dot int) bool {
+	// A period inside a number ("3.14") is not an end.
+	if dot+1 < len(runes) && unicode.IsDigit(runes[dot+1]) &&
+		dot > 0 && unicode.IsDigit(runes[dot-1]) {
+		return false
+	}
+	// Must be followed by whitespace or end of text.
+	if dot+1 < len(runes) && !unicode.IsSpace(runes[dot+1]) {
+		return false
+	}
+	// Find the word immediately before the period.
+	end := dot
+	start := end
+	for start > 0 && (unicode.IsLetter(runes[start-1]) || unicode.IsDigit(runes[start-1])) {
+		start--
+	}
+	word := strings.ToLower(string(runes[start:end]))
+	if len(word) == 1 && unicode.IsLetter(rune(word[0])) {
+		return false // initials: "J. Smith"
+	}
+	if abbreviations[word] {
+		return false
+	}
+	return true
+}
+
+// BoilerplateFilter removes lines that look like web-page chrome rather
+// than running text, a shallow-feature heuristic in the spirit of
+// boilerpipe's default extractor (Kohlschütter et al., WSDM 2010): a
+// line is kept when it has enough words, a high enough fraction of
+// alphabetic tokens, and is not dominated by link-like separators.
+func BoilerplateFilter(text string) string {
+	var kept []string
+	for _, line := range strings.Split(text, "\n") {
+		if keepLine(line) {
+			kept = append(kept, line)
+		}
+	}
+	return strings.Join(kept, "\n")
+}
+
+func keepLine(line string) bool {
+	trimmed := strings.TrimSpace(line)
+	if trimmed == "" {
+		return false
+	}
+	words := strings.Fields(trimmed)
+	if len(words) < 5 {
+		return false // navigation stubs: "Home", "About | Contact"
+	}
+	alpha := 0
+	seps := strings.Count(trimmed, "|") + strings.Count(trimmed, "»") + strings.Count(trimmed, ">>")
+	for _, w := range words {
+		hasLetter := false
+		for _, r := range w {
+			if unicode.IsLetter(r) {
+				hasLetter = true
+				break
+			}
+		}
+		if hasLetter {
+			alpha++
+		}
+	}
+	if float64(alpha)/float64(len(words)) < 0.5 {
+		return false
+	}
+	if seps*4 >= len(words) {
+		return false // link lists
+	}
+	return true
+}

@@ -1,0 +1,201 @@
+// Package dictionary implements the term dictionary of Section V
+// ("Sequence Encoding"): a mapping between terms and integer term
+// identifiers, with identifiers assigned in descending order of
+// collection frequency so that frequent terms receive small identifiers
+// and varint-encode compactly. The dictionary is built once per
+// document collection as a pre-processing step and persisted as a
+// single text file, exactly as the paper's implementation keeps it.
+package dictionary
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ngramstats/internal/sequence"
+)
+
+// ErrUnknownTerm is returned when encoding a term that is not in the
+// dictionary.
+var ErrUnknownTerm = errors.New("dictionary: unknown term")
+
+// Dictionary maps terms to identifiers and back. Identifier i belongs
+// to the term with the (i+1)-th highest collection frequency; ties are
+// broken lexicographically for determinism.
+type Dictionary struct {
+	terms []string
+	cfs   []int64
+	ids   map[string]sequence.Term
+}
+
+// Builder accumulates term frequencies before the dictionary is frozen.
+type Builder struct {
+	counts map[string]int64
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{counts: make(map[string]int64)}
+}
+
+// Add counts one occurrence of term.
+func (b *Builder) Add(term string) { b.counts[term]++ }
+
+// AddN counts n occurrences of term.
+func (b *Builder) AddN(term string, n int64) { b.counts[term] += n }
+
+// Build freezes the builder into a Dictionary with identifiers in
+// descending collection-frequency order.
+func (b *Builder) Build() *Dictionary {
+	type tc struct {
+		term string
+		cf   int64
+	}
+	all := make([]tc, 0, len(b.counts))
+	for t, c := range b.counts {
+		all = append(all, tc{t, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].cf != all[j].cf {
+			return all[i].cf > all[j].cf
+		}
+		return all[i].term < all[j].term
+	})
+	d := &Dictionary{
+		terms: make([]string, len(all)),
+		cfs:   make([]int64, len(all)),
+		ids:   make(map[string]sequence.Term, len(all)),
+	}
+	for i, e := range all {
+		d.terms[i] = e.term
+		d.cfs[i] = e.cf
+		d.ids[e.term] = sequence.Term(i)
+	}
+	return d
+}
+
+// Len returns the number of distinct terms.
+func (d *Dictionary) Len() int { return len(d.terms) }
+
+// ID returns the identifier of term.
+func (d *Dictionary) ID(term string) (sequence.Term, bool) {
+	id, ok := d.ids[term]
+	return id, ok
+}
+
+// Term returns the term with the given identifier, or "" if out of
+// range.
+func (d *Dictionary) Term(id sequence.Term) string {
+	if int(id) >= len(d.terms) {
+		return ""
+	}
+	return d.terms[id]
+}
+
+// CF returns the collection frequency recorded for the identifier.
+func (d *Dictionary) CF(id sequence.Term) int64 {
+	if int(id) >= len(d.cfs) {
+		return 0
+	}
+	return d.cfs[id]
+}
+
+// TotalOccurrences returns the sum of all collection frequencies, i.e.
+// the number of term occurrences in the collection.
+func (d *Dictionary) TotalOccurrences() int64 {
+	var n int64
+	for _, c := range d.cfs {
+		n += c
+	}
+	return n
+}
+
+// Encode maps a token slice to a term sequence. Unknown terms yield
+// ErrUnknownTerm.
+func (d *Dictionary) Encode(tokens []string) (sequence.Seq, error) {
+	s := make(sequence.Seq, len(tokens))
+	for i, tok := range tokens {
+		id, ok := d.ids[tok]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownTerm, tok)
+		}
+		s[i] = id
+	}
+	return s, nil
+}
+
+// Decode maps a term sequence back to tokens. Unknown identifiers
+// decode to "⟨unk⟩".
+func (d *Dictionary) Decode(s sequence.Seq) []string {
+	out := make([]string, len(s))
+	for i, id := range s {
+		if t := d.Term(id); t != "" || (int(id) < len(d.terms)) {
+			out[i] = t
+		} else {
+			out[i] = "⟨unk⟩"
+		}
+	}
+	return out
+}
+
+// Format renders a sequence as a human-readable phrase.
+func (d *Dictionary) Format(s sequence.Seq) string {
+	return strings.Join(d.Decode(s), " ")
+}
+
+// Save writes the dictionary as one "term<TAB>cf" line per identifier,
+// in identifier order.
+func (d *Dictionary) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, t := range d.terms {
+		if _, err := fmt.Fprintf(bw, "%s\t%d\n", t, d.cfs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a dictionary in the Save format. Identifier order is the
+// line order; it must be in non-increasing frequency order, which Load
+// verifies.
+func Load(r io.Reader) (*Dictionary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	d := &Dictionary{ids: make(map[string]sequence.Term)}
+	var prev int64 = -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		tab := strings.LastIndexByte(text, '\t')
+		if tab < 0 {
+			return nil, fmt.Errorf("dictionary: line %d: missing tab", line)
+		}
+		term := text[:tab]
+		cf, err := strconv.ParseInt(text[tab+1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dictionary: line %d: bad frequency: %v", line, err)
+		}
+		if prev >= 0 && cf > prev {
+			return nil, fmt.Errorf("dictionary: line %d: frequencies not non-increasing", line)
+		}
+		prev = cf
+		if _, dup := d.ids[term]; dup {
+			return nil, fmt.Errorf("dictionary: line %d: duplicate term %q", line, term)
+		}
+		d.ids[term] = sequence.Term(len(d.terms))
+		d.terms = append(d.terms, term)
+		d.cfs = append(d.cfs, cf)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,135 @@
+package dictionary
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"ngramstats/internal/sequence"
+)
+
+func buildSample() *Dictionary {
+	b := NewBuilder()
+	// x:7, b:5, a:3 — the running example frequencies.
+	b.AddN("x", 7)
+	b.AddN("b", 5)
+	b.AddN("a", 3)
+	return b.Build()
+}
+
+func TestIDsDescendingFrequency(t *testing.T) {
+	d := buildSample()
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for i, want := range []string{"x", "b", "a"} {
+		if got := d.Term(sequence.Term(i)); got != want {
+			t.Fatalf("Term(%d) = %q, want %q", i, got, want)
+		}
+	}
+	id, ok := d.ID("b")
+	if !ok || id != 1 {
+		t.Fatalf("ID(b) = %d, %v", id, ok)
+	}
+	if d.CF(0) != 7 || d.CF(1) != 5 || d.CF(2) != 3 {
+		t.Fatalf("CFs = %d %d %d", d.CF(0), d.CF(1), d.CF(2))
+	}
+	if d.TotalOccurrences() != 15 {
+		t.Fatalf("TotalOccurrences = %d", d.TotalOccurrences())
+	}
+}
+
+func TestTiesBrokenLexicographically(t *testing.T) {
+	b := NewBuilder()
+	b.AddN("zeta", 2)
+	b.AddN("alpha", 2)
+	b.AddN("mid", 2)
+	d := b.Build()
+	if d.Term(0) != "alpha" || d.Term(1) != "mid" || d.Term(2) != "zeta" {
+		t.Fatalf("tie order = %q %q %q", d.Term(0), d.Term(1), d.Term(2))
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	d := buildSample()
+	s, err := d.Encode([]string{"a", "x", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sequence.Equal(s, sequence.Seq{2, 0, 1}) {
+		t.Fatalf("Encode = %v", s)
+	}
+	if got := d.Format(s); got != "a x b" {
+		t.Fatalf("Format = %q", got)
+	}
+	if _, err := d.Encode([]string{"nope"}); !errors.Is(err, ErrUnknownTerm) {
+		t.Fatalf("expected ErrUnknownTerm, got %v", err)
+	}
+}
+
+func TestAddIncrements(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.Add("w")
+	}
+	d := b.Build()
+	if d.CF(0) != 4 {
+		t.Fatalf("CF = %d", d.CF(0))
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := buildSample()
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	for i := 0; i < d.Len(); i++ {
+		id := sequence.Term(i)
+		if got.Term(id) != d.Term(id) || got.CF(id) != d.CF(id) {
+			t.Fatalf("mismatch at id %d", i)
+		}
+	}
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"missing tab":    "abc\n",
+		"bad frequency":  "abc\tx\n",
+		"increasing cfs": "a\t1\nb\t2\n",
+		"duplicate term": "a\t2\na\t1\n",
+	}
+	for name, in := range cases {
+		if _, err := Load(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Load accepted %q", name, in)
+		}
+	}
+}
+
+func TestLoadSkipsBlankLines(t *testing.T) {
+	d, err := Load(strings.NewReader("a\t5\n\nb\t3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d := buildSample()
+	if d.Term(99) != "" {
+		t.Fatal("Term(99) should be empty")
+	}
+	if d.CF(99) != 0 {
+		t.Fatal("CF(99) should be 0")
+	}
+}

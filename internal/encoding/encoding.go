@@ -1,0 +1,303 @@
+// Package encoding provides the byte-level codecs shared by all methods:
+// variable-byte (varint) integer encoding [Witten et al., "Managing
+// Gigabytes"], length-framed records for spill files, sequence key
+// codecs, and raw comparators that order encoded sequences without
+// materializing them — the Go equivalent of the Hadoop raw comparators
+// the paper recommends in Section V.
+package encoding
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ngramstats/internal/sequence"
+)
+
+// ErrCorrupt is returned when a codec encounters malformed input.
+var ErrCorrupt = errors.New("encoding: corrupt data")
+
+// AppendUvarint appends the varint encoding of v to dst.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// Uvarint decodes a varint from b, returning the value and the number of
+// bytes read. It returns n <= 0 on malformed input, mirroring
+// binary.Uvarint.
+func Uvarint(b []byte) (uint64, int) {
+	return binary.Uvarint(b)
+}
+
+// UvarintLen returns the number of bytes AppendUvarint uses for v.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// AppendSeq appends the terms of s as consecutive varints. The encoding
+// carries no explicit length: a sequence key occupies an entire key
+// slice and is decoded until exhaustion. Term identifiers are assigned
+// in descending collection-frequency order, so frequent terms encode in
+// one byte.
+func AppendSeq(dst []byte, s sequence.Seq) []byte {
+	for _, t := range s {
+		dst = binary.AppendUvarint(dst, uint64(t))
+	}
+	return dst
+}
+
+// EncodeSeq returns the varint encoding of s as a fresh slice.
+func EncodeSeq(s sequence.Seq) []byte {
+	return AppendSeq(make([]byte, 0, len(s)+4), s)
+}
+
+// DecodeSeq decodes an entire slice of consecutive varints into a term
+// sequence.
+func DecodeSeq(b []byte) (sequence.Seq, error) {
+	s := make(sequence.Seq, 0, len(b))
+	for len(b) > 0 {
+		v, n := binary.Uvarint(b)
+		if n <= 0 || v > 0xFFFFFFFF {
+			return nil, fmt.Errorf("%w: bad term varint", ErrCorrupt)
+		}
+		s = append(s, sequence.Term(v))
+		b = b[n:]
+	}
+	return s, nil
+}
+
+// DecodeSeqInto decodes b into dst (reusing its capacity) and returns
+// the decoded sequence. It is the allocation-free variant of DecodeSeq
+// for hot loops.
+func DecodeSeqInto(dst sequence.Seq, b []byte) (sequence.Seq, error) {
+	dst = dst[:0]
+	for len(b) > 0 {
+		v, n := binary.Uvarint(b)
+		if n <= 0 || v > 0xFFFFFFFF {
+			return dst, fmt.Errorf("%w: bad term varint", ErrCorrupt)
+		}
+		dst = append(dst, sequence.Term(v))
+		b = b[n:]
+	}
+	return dst, nil
+}
+
+// SeqLen returns the number of terms encoded in b without allocating.
+// Malformed input yields -1.
+func SeqLen(b []byte) int {
+	n := 0
+	for len(b) > 0 {
+		_, w := binary.Uvarint(b)
+		if w <= 0 {
+			return -1
+		}
+		b = b[w:]
+		n++
+	}
+	return n
+}
+
+// FirstTerm decodes the first term of an encoded sequence. The SUFFIX-σ
+// partitioner assigns reducers based on it alone (Algorithm 4).
+func FirstTerm(b []byte) (sequence.Term, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 || v > 0xFFFFFFFF {
+		return 0, fmt.Errorf("%w: bad first term", ErrCorrupt)
+	}
+	return sequence.Term(v), nil
+}
+
+// CompareSeqBytes orders two encoded sequences in standard lexicographic
+// term order without materializing them: terms are decoded one varint at
+// a time and compared numerically; a shorter sequence that is a prefix
+// of the other sorts first.
+func CompareSeqBytes(a, b []byte) int {
+	for {
+		switch {
+		case len(a) == 0 && len(b) == 0:
+			return 0
+		case len(a) == 0:
+			return -1
+		case len(b) == 0:
+			return 1
+		}
+		va, na := binary.Uvarint(a)
+		vb, nb := binary.Uvarint(b)
+		if na <= 0 || nb <= 0 {
+			// Malformed input cannot occur for keys we produced; order
+			// arbitrarily but deterministically by raw bytes.
+			return rawCompare(a, b)
+		}
+		switch {
+		case va < vb:
+			return -1
+		case va > vb:
+			return 1
+		}
+		a, b = a[na:], b[nb:]
+	}
+}
+
+// CompareSeqBytesReverse orders two encoded sequences in the reverse
+// lexicographic order of Section IV: terms compare in descending
+// identifier order and a sequence sorts before its own proper prefixes.
+// This is the raw-bytes form of sequence.CompareReverseLex and is used
+// as the SUFFIX-σ shuffle comparator.
+func CompareSeqBytesReverse(a, b []byte) int {
+	for {
+		switch {
+		case len(a) == 0 && len(b) == 0:
+			return 0
+		case len(a) == 0:
+			return 1 // a is a proper prefix of b: b (longer) sorts first
+		case len(b) == 0:
+			return -1
+		}
+		va, na := binary.Uvarint(a)
+		vb, nb := binary.Uvarint(b)
+		if na <= 0 || nb <= 0 {
+			return rawCompare(a, b)
+		}
+		switch {
+		case va > vb:
+			return -1
+		case va < vb:
+			return 1
+		}
+		a, b = a[na:], b[nb:]
+	}
+}
+
+func rawCompare(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return len(a) - len(b)
+}
+
+// CompareBytes orders raw byte slices lexicographically. It is the
+// default shuffle comparator for jobs whose keys are not sequences.
+func CompareBytes(a, b []byte) int { return rawCompare(a, b) }
+
+// WriteRecord writes a length-framed (key, value) record:
+// uvarint(len(key)) ‖ key ‖ uvarint(len(value)) ‖ value.
+func WriteRecord(w io.Writer, key, value []byte) error {
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(key)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(key); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(hdr[:], uint64(len(value)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(value)
+	return err
+}
+
+// RecordReader reads length-framed records produced by WriteRecord.
+type RecordReader struct {
+	r   io.ByteReader
+	src io.Reader
+	key []byte
+	val []byte
+}
+
+// NewRecordReader returns a RecordReader reading from r. For efficiency
+// r should be buffered; if it does not implement io.ByteReader a
+// one-byte fallback is used.
+func NewRecordReader(r io.Reader) *RecordReader {
+	br, ok := r.(interface {
+		io.Reader
+		io.ByteReader
+	})
+	if ok {
+		return &RecordReader{r: br, src: br}
+	}
+	return &RecordReader{r: &byteReaderAdapter{r: r}, src: r}
+}
+
+type byteReaderAdapter struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (a *byteReaderAdapter) ReadByte() (byte, error) {
+	_, err := io.ReadFull(a.r, a.buf[:])
+	return a.buf[0], err
+}
+
+// Next reads the next record. It returns io.EOF at a clean end of
+// stream and ErrCorrupt on a truncated record. The returned slices are
+// reused across calls.
+func (rr *RecordReader) Next() (key, value []byte, err error) {
+	klen, err := binary.ReadUvarint(rr.r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, nil, io.EOF
+		}
+		return nil, nil, fmt.Errorf("%w: record key length: %v", ErrCorrupt, err)
+	}
+	rr.key = grow(rr.key, int(klen))
+	if err := rr.readFull(rr.key); err != nil {
+		return nil, nil, fmt.Errorf("%w: record key: %v", ErrCorrupt, err)
+	}
+	vlen, err := binary.ReadUvarint(rr.r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: record value length: %v", ErrCorrupt, err)
+	}
+	rr.val = grow(rr.val, int(vlen))
+	if err := rr.readFull(rr.val); err != nil {
+		return nil, nil, fmt.Errorf("%w: record value: %v", ErrCorrupt, err)
+	}
+	return rr.key, rr.val, nil
+}
+
+func (rr *RecordReader) readFull(dst []byte) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	if r, ok := rr.src.(io.Reader); ok {
+		_, err := io.ReadFull(r, dst)
+		return err
+	}
+	for i := range dst {
+		b, err := rr.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		dst[i] = b
+	}
+	return nil
+}
+
+func grow(b []byte, n int) []byte {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+// RecordLen returns the on-disk size of a record with the given key and
+// value lengths. Used by spill accounting.
+func RecordLen(keyLen, valLen int) int {
+	return UvarintLen(uint64(keyLen)) + keyLen + UvarintLen(uint64(valLen)) + valLen
+}

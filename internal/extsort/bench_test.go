@@ -1,0 +1,73 @@
+package extsort
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// benchRecords builds n records with small keys and values.
+func benchRecords(n int) [][2][]byte {
+	rng := rand.New(rand.NewSource(2))
+	out := make([][2][]byte, n)
+	for i := range out {
+		k := binary.AppendUvarint(nil, uint64(rng.Intn(n)))
+		v := binary.AppendUvarint(nil, 1)
+		out[i] = [2][]byte{k, v}
+	}
+	return out
+}
+
+// BenchmarkSortInMemory measures pure in-memory sorting throughput
+// (the common case of small shuffle partitions).
+func BenchmarkSortInMemory(b *testing.B) {
+	recs := benchRecords(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSorter(Options{MemoryBudget: 1 << 30, TempDir: b.TempDir()})
+		for _, r := range recs {
+			if err := s.Add(r[0], r[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for it.Next() {
+			n++
+		}
+		it.Close()
+		if n != len(recs) {
+			b.Fatalf("lost records: %d", n)
+		}
+	}
+}
+
+// BenchmarkSortWithSpills measures the spill-and-merge path with a
+// deliberately tiny budget.
+func BenchmarkSortWithSpills(b *testing.B) {
+	recs := benchRecords(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSorter(Options{MemoryBudget: 64 << 10, TempDir: b.TempDir()})
+		for _, r := range recs {
+			if err := s.Add(r[0], r[1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for it.Next() {
+			n++
+		}
+		it.Close()
+		if n != len(recs) {
+			b.Fatalf("lost records: %d", n)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package extsort implements a bounded-memory external sorter for
+// (key, value) byte records. It is the storage engine behind the
+// MapReduce shuffle: map tasks append records to a Sorter, which keeps
+// an in-memory run up to a configurable budget, spills sorted runs to
+// varint-framed files, and finally exposes a single merged, sorted
+// iterator over all runs (in-memory and on-disk) using a k-way heap
+// merge.
+//
+// The sorter mirrors the role of the Hadoop map-side sort/spill
+// machinery that the paper's methods implicitly rely on for the
+// "sorting" half of MapReduce's sort-and-group contract.
+package extsort
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ngramstats/internal/encoding"
+)
+
+// Compare orders two keys. Negative means a sorts before b.
+type Compare func(a, b []byte) int
+
+// Options configures a Sorter.
+type Options struct {
+	// MemoryBudget is the approximate number of bytes of record data
+	// buffered in memory before a spill. Zero selects a default of 32 MiB.
+	MemoryBudget int
+	// TempDir is the directory for spill files. Empty selects os.TempDir.
+	TempDir string
+	// Compare orders keys. Nil selects bytewise lexicographic order.
+	Compare Compare
+	// OnSpill, if non-nil, is invoked with the number of records in each
+	// spilled run (for SPILLED_RECORDS-style counters).
+	OnSpill func(records int)
+}
+
+type record struct {
+	keyOff, keyLen int
+	valOff, valLen int
+}
+
+// Sorter accumulates records and produces them in sorted order. It is
+// not safe for concurrent use; in the shuffle each map task owns one
+// sorter per reduce partition.
+type Sorter struct {
+	opts    Options
+	cmp     Compare
+	arena   []byte
+	recs    []record
+	spills  []string
+	n       int
+	mem     int
+	closed  bool
+	spillID int
+}
+
+// NewSorter returns a Sorter with the given options.
+func NewSorter(opts Options) *Sorter {
+	if opts.MemoryBudget <= 0 {
+		opts.MemoryBudget = 32 << 20
+	}
+	cmp := opts.Compare
+	if cmp == nil {
+		cmp = bytes.Compare
+	}
+	return &Sorter{opts: opts, cmp: cmp}
+}
+
+// Len returns the total number of records added so far.
+func (s *Sorter) Len() int { return s.n }
+
+// MemoryInUse returns the current in-memory buffer size in bytes.
+func (s *Sorter) MemoryInUse() int { return s.mem }
+
+// Spills returns the number of on-disk runs produced so far.
+func (s *Sorter) Spills() int { return len(s.spills) }
+
+// Add appends a record. The key and value are copied, so callers may
+// reuse their buffers.
+func (s *Sorter) Add(key, value []byte) error {
+	if s.closed {
+		return fmt.Errorf("extsort: Add after Sort")
+	}
+	ko := len(s.arena)
+	s.arena = append(s.arena, key...)
+	vo := len(s.arena)
+	s.arena = append(s.arena, value...)
+	s.recs = append(s.recs, record{ko, len(key), vo, len(value)})
+	s.n++
+	s.mem += len(key) + len(value) + 32
+	if s.mem >= s.opts.MemoryBudget {
+		return s.spill()
+	}
+	return nil
+}
+
+func (s *Sorter) sortInMemory() {
+	sort.SliceStable(s.recs, func(i, j int) bool {
+		a, b := s.recs[i], s.recs[j]
+		return s.cmp(s.arena[a.keyOff:a.keyOff+a.keyLen], s.arena[b.keyOff:b.keyOff+b.keyLen]) < 0
+	})
+}
+
+func (s *Sorter) spill() error {
+	if len(s.recs) == 0 {
+		return nil
+	}
+	s.sortInMemory()
+	f, err := os.CreateTemp(s.opts.TempDir, fmt.Sprintf("extsort-spill-%d-*.run", s.spillID))
+	if err != nil {
+		return fmt.Errorf("extsort: create spill: %w", err)
+	}
+	s.spillID++
+	w := bufio.NewWriterSize(f, 256<<10)
+	for _, r := range s.recs {
+		key := s.arena[r.keyOff : r.keyOff+r.keyLen]
+		val := s.arena[r.valOff : r.valOff+r.valLen]
+		if err := encoding.WriteRecord(w, key, val); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return fmt.Errorf("extsort: write spill: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("extsort: flush spill: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("extsort: close spill: %w", err)
+	}
+	if s.opts.OnSpill != nil {
+		s.opts.OnSpill(len(s.recs))
+	}
+	s.spills = append(s.spills, f.Name())
+	s.arena = s.arena[:0]
+	s.recs = s.recs[:0]
+	s.mem = 0
+	return nil
+}
+
+// Sort finalizes the sorter and returns an iterator over all records in
+// sorted order. After Sort, Add must not be called. The caller must
+// Close the iterator to release spill files.
+func (s *Sorter) Sort() (*Iterator, error) {
+	if s.closed {
+		return nil, fmt.Errorf("extsort: Sort called twice")
+	}
+	s.closed = true
+	s.sortInMemory()
+
+	var srcs []source
+	if len(s.recs) > 0 {
+		srcs = append(srcs, &memSource{arena: s.arena, recs: s.recs})
+	}
+	for _, path := range s.spills {
+		fs, err := newFileSource(path)
+		if err != nil {
+			for _, src := range srcs {
+				src.close()
+			}
+			return nil, err
+		}
+		srcs = append(srcs, fs)
+	}
+	it := &Iterator{cmp: s.cmp}
+	it.h.cmp = s.cmp
+	for i, src := range srcs {
+		ok, err := src.next()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if ok {
+			heap.Push(&it.h, &heapEntry{src: src, order: i})
+		} else {
+			src.close()
+		}
+	}
+	return it, nil
+}
+
+// Discard releases all resources without producing output. It is safe
+// to call at any time, including after Sort (in which case the returned
+// iterator owns the spill files instead and Discard is a no-op for
+// them).
+func (s *Sorter) Discard() {
+	if !s.closed {
+		for _, path := range s.spills {
+			os.Remove(path)
+		}
+		s.spills = nil
+	}
+	s.arena = nil
+	s.recs = nil
+	s.closed = true
+}
+
+// source is a stream of sorted records.
+type source interface {
+	// next advances to the next record, reporting whether one is
+	// available.
+	next() (bool, error)
+	key() []byte
+	value() []byte
+	close()
+}
+
+type memSource struct {
+	arena []byte
+	recs  []record
+	i     int
+	cur   record
+}
+
+func (m *memSource) next() (bool, error) {
+	if m.i >= len(m.recs) {
+		return false, nil
+	}
+	m.cur = m.recs[m.i]
+	m.i++
+	return true, nil
+}
+
+func (m *memSource) key() []byte {
+	return m.arena[m.cur.keyOff : m.cur.keyOff+m.cur.keyLen]
+}
+
+func (m *memSource) value() []byte {
+	return m.arena[m.cur.valOff : m.cur.valOff+m.cur.valLen]
+}
+
+func (m *memSource) close() {}
+
+type fileSource struct {
+	path string
+	f    *os.File
+	rr   *encoding.RecordReader
+	k, v []byte
+}
+
+func newFileSource(path string) (*fileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: open spill: %w", err)
+	}
+	return &fileSource{
+		path: path,
+		f:    f,
+		rr:   encoding.NewRecordReader(bufio.NewReaderSize(f, 256<<10)),
+	}, nil
+}
+
+func (fs *fileSource) next() (bool, error) {
+	k, v, err := fs.rr.Next()
+	if err == io.EOF {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	fs.k, fs.v = k, v
+	return true, nil
+}
+
+func (fs *fileSource) key() []byte   { return fs.k }
+func (fs *fileSource) value() []byte { return fs.v }
+
+func (fs *fileSource) close() {
+	fs.f.Close()
+	os.Remove(fs.path)
+}
+
+type heapEntry struct {
+	src   source
+	order int // tie-break: stable by source index
+}
+
+type mergeHeap struct {
+	entries []*heapEntry
+	cmp     Compare
+}
+
+func (h *mergeHeap) Len() int { return len(h.entries) }
+
+func (h *mergeHeap) Less(i, j int) bool {
+	c := h.cmp(h.entries[i].src.key(), h.entries[j].src.key())
+	if c != 0 {
+		return c < 0
+	}
+	return h.entries[i].order < h.entries[j].order
+}
+
+func (h *mergeHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+
+func (h *mergeHeap) Push(x any) { h.entries = append(h.entries, x.(*heapEntry)) }
+
+func (h *mergeHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}
+
+// Iterator yields records in sorted order from the k-way merge of all
+// runs. The key and value slices returned by Key and Value are only
+// valid until the following call to Next.
+type Iterator struct {
+	h      mergeHeap
+	cmp    Compare
+	cur    *heapEntry
+	closed bool
+	err    error
+}
+
+// Next advances the iterator, reporting whether a record is available.
+func (it *Iterator) Next() bool {
+	if it.closed || it.err != nil {
+		return false
+	}
+	if it.h.cmp == nil {
+		it.h.cmp = it.cmp
+	}
+	if it.cur != nil {
+		ok, err := it.cur.src.next()
+		if err != nil {
+			it.err = err
+			return false
+		}
+		if ok {
+			heap.Push(&it.h, it.cur)
+		} else {
+			it.cur.src.close()
+		}
+		it.cur = nil
+	}
+	if it.h.Len() == 0 {
+		return false
+	}
+	it.cur = heap.Pop(&it.h).(*heapEntry)
+	return true
+}
+
+// Key returns the current record's key.
+func (it *Iterator) Key() []byte { return it.cur.src.key() }
+
+// Value returns the current record's value.
+func (it *Iterator) Value() []byte { return it.cur.src.value() }
+
+// Err returns the first error encountered during iteration, if any.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases all spill files. It is safe to call multiple times.
+func (it *Iterator) Close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	if it.cur != nil {
+		it.cur.src.close()
+		it.cur = nil
+	}
+	for _, e := range it.h.entries {
+		e.src.close()
+	}
+	it.h.entries = nil
+}

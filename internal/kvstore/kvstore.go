@@ -1,0 +1,390 @@
+// Package kvstore provides a disk-resident key-value store with an
+// in-memory write buffer and lookup cache. It stands in for the Berkeley
+// DB Java Edition store the paper's implementation uses (Section V) to
+// hold data that exceeds main memory at cluster nodes: the dictionary of
+// frequent (k−1)-grams in APRIORI-SCAN and the buffered posting lists in
+// APRIORI-INDEX.
+//
+// The design is a miniature LSM: writes go to a memtable; when the
+// memtable exceeds its budget it is flushed to an immutable sorted
+// segment file with a sparse in-memory index; reads consult the
+// memtable, then segments from newest to oldest, with a small cache in
+// front ("most main memory is then used for caching, which helps
+// APRIORI-SCAN in particular, since lookups of frequent (k−1)-grams
+// typically hit the cache").
+package kvstore
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"ngramstats/internal/encoding"
+)
+
+// Options configures a Store.
+type Options struct {
+	// MemoryBudget bounds the memtable size in bytes. Zero selects 16 MiB.
+	MemoryBudget int
+	// TempDir is the directory for segment files. Empty selects the
+	// system default.
+	TempDir string
+	// CacheEntries bounds the read-through cache. Zero selects 4096;
+	// negative disables the cache.
+	CacheEntries int
+	// SparseEvery controls the sparse index granularity: every n-th key
+	// of a segment is indexed. Zero selects 16.
+	SparseEvery int
+}
+
+// Store is a disk-resident key-value store. It is safe for concurrent
+// readers once writing is finished (after Freeze); mixed concurrent
+// reads and writes require external synchronization.
+type Store struct {
+	opts     Options
+	mu       sync.RWMutex
+	mem      map[string][]byte
+	memBytes int
+	segments []*segment // newest last
+	cache    *lruCache
+	frozen   bool
+	closed   bool
+}
+
+// Open creates an empty store.
+func Open(opts Options) *Store {
+	if opts.MemoryBudget <= 0 {
+		opts.MemoryBudget = 16 << 20
+	}
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 4096
+	}
+	if opts.SparseEvery <= 0 {
+		opts.SparseEvery = 16
+	}
+	s := &Store{opts: opts, mem: make(map[string][]byte)}
+	if opts.CacheEntries > 0 {
+		s.cache = newLRUCache(opts.CacheEntries)
+	}
+	return s
+}
+
+// Put stores value under key, replacing any previous value in the
+// memtable. Values written in an older, already-flushed segment are
+// shadowed (newest wins on Get).
+func (s *Store) Put(key, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("kvstore: Put on closed store")
+	}
+	k := string(key)
+	old, existed := s.mem[k]
+	s.mem[k] = append([]byte(nil), value...)
+	if existed {
+		s.memBytes += len(value) - len(old)
+	} else {
+		s.memBytes += len(k) + len(value) + 48
+	}
+	if s.cache != nil {
+		s.cache.remove(k)
+	}
+	if s.memBytes >= s.opts.MemoryBudget {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Get returns the value stored under key and whether it exists. The
+// returned slice must not be modified.
+func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, fmt.Errorf("kvstore: Get on closed store")
+	}
+	k := string(key)
+	if v, ok := s.mem[k]; ok {
+		return v, true, nil
+	}
+	if s.cache != nil {
+		if v, present, ok := s.cache.get(k); ok {
+			if !present {
+				return nil, false, nil // cached miss
+			}
+			return v, true, nil
+		}
+	}
+	// Newest segment first: last write wins.
+	for i := len(s.segments) - 1; i >= 0; i-- {
+		v, ok, err := s.segments[i].get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if s.cache != nil {
+				s.cache.put(k, v, true)
+			}
+			return v, true, nil
+		}
+	}
+	if s.cache != nil {
+		s.cache.put(k, nil, false) // negative cache entry
+	}
+	return nil, false, nil
+}
+
+// Contains reports whether key is present.
+func (s *Store) Contains(key []byte) (bool, error) {
+	_, ok, err := s.Get(key)
+	return ok, err
+}
+
+// Len returns the approximate number of live entries (distinct keys are
+// counted once per segment they appear in plus the memtable, so after
+// overwrites the value is an upper bound).
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.mem)
+	for _, seg := range s.segments {
+		n += seg.count
+	}
+	return n
+}
+
+// Segments returns the number of on-disk segments (for tests and
+// instrumentation).
+func (s *Store) Segments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.segments)
+}
+
+// Freeze flushes the memtable and marks the store read-only; concurrent
+// Gets are afterwards safe without external locking.
+func (s *Store) Freeze() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	s.frozen = true
+	return nil
+}
+
+func (s *Store) flushLocked() error {
+	if len(s.mem) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	f, err := os.CreateTemp(s.opts.TempDir, "kvstore-seg-*.seg")
+	if err != nil {
+		return fmt.Errorf("kvstore: create segment: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 256<<10)
+	seg := &segment{path: f.Name(), count: len(keys)}
+	var off int64
+	for i, k := range keys {
+		v := s.mem[k]
+		if i%s.opts.SparseEvery == 0 {
+			seg.index = append(seg.index, indexEntry{key: []byte(k), off: off})
+		}
+		if err := encoding.WriteRecord(w, []byte(k), v); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return fmt.Errorf("kvstore: write segment: %w", err)
+		}
+		off += int64(encoding.RecordLen(len(k), len(v)))
+	}
+	seg.size = off
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("kvstore: flush segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("kvstore: close segment: %w", err)
+	}
+	s.segments = append(s.segments, seg)
+	s.mem = make(map[string][]byte)
+	s.memBytes = 0
+	return nil
+}
+
+// Close releases all on-disk resources.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, seg := range s.segments {
+		if err := os.Remove(seg.path); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.segments = nil
+	s.mem = nil
+	return first
+}
+
+type indexEntry struct {
+	key []byte
+	off int64
+}
+
+// segment is an immutable sorted run on disk with a sparse index.
+type segment struct {
+	path  string
+	index []indexEntry
+	count int
+	size  int64
+}
+
+func (seg *segment) get(key []byte) ([]byte, bool, error) {
+	if len(seg.index) == 0 {
+		return nil, false, nil
+	}
+	// Find the last sparse entry with key <= target.
+	i := sort.Search(len(seg.index), func(i int) bool {
+		return bytes.Compare(seg.index[i].key, key) > 0
+	}) - 1
+	if i < 0 {
+		return nil, false, nil // key precedes the first entry
+	}
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return nil, false, fmt.Errorf("kvstore: open segment: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(seg.index[i].off, io.SeekStart); err != nil {
+		return nil, false, fmt.Errorf("kvstore: seek segment: %w", err)
+	}
+	end := seg.size
+	if i+1 < len(seg.index) {
+		end = seg.index[i+1].off
+	}
+	rr := encoding.NewRecordReader(bufio.NewReaderSize(io.LimitReader(f, end-seg.index[i].off), 32<<10))
+	for {
+		k, v, err := rr.Next()
+		if err == io.EOF {
+			return nil, false, nil
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		switch bytes.Compare(k, key) {
+		case 0:
+			return append([]byte(nil), v...), true, nil
+		case 1:
+			return nil, false, nil // past the target in sorted order
+		}
+	}
+}
+
+// lruCache is a small LRU map for read-through caching. Entries carry
+// an explicit presence flag so that keys stored with empty values are
+// distinguishable from negative (cached-miss) entries.
+type lruCache struct {
+	mu   sync.Mutex
+	cap  int
+	m    map[string]*lruEntry
+	head *lruEntry // most recent
+	tail *lruEntry // least recent
+}
+
+type lruEntry struct {
+	key        string
+	val        []byte
+	present    bool
+	prev, next *lruEntry
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, m: make(map[string]*lruEntry, capacity)}
+}
+
+func (c *lruCache) get(k string) (v []byte, present, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, found := c.m[k]
+	if !found {
+		return nil, false, false
+	}
+	c.moveToFront(e)
+	return e.val, e.present, true
+}
+
+func (c *lruCache) put(k string, v []byte, present bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[k]; ok {
+		e.val = v
+		e.present = present
+		c.moveToFront(e)
+		return
+	}
+	e := &lruEntry{key: k, val: v, present: present}
+	c.m[k] = e
+	c.pushFront(e)
+	if len(c.m) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+	}
+}
+
+func (c *lruCache) remove(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[k]; ok {
+		c.unlink(e)
+		delete(c.m, k)
+	}
+}
+
+func (c *lruCache) pushFront(e *lruEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lruCache) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(e *lruEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

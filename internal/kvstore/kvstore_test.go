@@ -1,0 +1,414 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestPutGetInMemory(t *testing.T) {
+	s := Open(Options{MemoryBudget: 1 << 20, TempDir: t.TempDir()})
+	defer s.Close()
+	if err := s.Put([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get([]byte("k1"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	_, ok, err = s.Get([]byte("absent"))
+	if err != nil || ok {
+		t.Fatalf("absent key found")
+	}
+	if s.Segments() != 0 {
+		t.Fatalf("unexpected segments: %d", s.Segments())
+	}
+}
+
+func TestSpillToSegmentsAndGet(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(Options{MemoryBudget: 512, TempDir: dir, SparseEvery: 4})
+	defer s.Close()
+	const n = 500
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		v := []byte(fmt.Sprintf("value-%d", i*i))
+		if err := s.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Segments() == 0 {
+		t.Fatal("expected on-disk segments")
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		want := fmt.Sprintf("value-%d", i*i)
+		v, ok, err := s.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q, %v; want %q", k, v, ok, want)
+		}
+	}
+	// Misses before, between, and after segment key ranges.
+	for _, k := range []string{"a", "key-0250x", "zzz"} {
+		if _, ok, err := s.Get([]byte(k)); err != nil || ok {
+			t.Fatalf("unexpected hit for %q", k)
+		}
+	}
+}
+
+func TestNewestValueWins(t *testing.T) {
+	s := Open(Options{MemoryBudget: 256, TempDir: t.TempDir()})
+	defer s.Close()
+	// Write the key, force it to a segment, then overwrite.
+	if err := s.Put([]byte("k"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	// Freeze marks read-only semantics for concurrency, but this store
+	// is reopened for writing in the same test via direct Put; emulate a
+	// second generation with a fresh store sharing segments is not
+	// supported, so just verify overwrite before freeze instead.
+	s2 := Open(Options{MemoryBudget: 1 << 10, TempDir: t.TempDir(), CacheEntries: -1})
+	defer s2.Close()
+	if err := s2.Put([]byte("k"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Force flush by exceeding the budget.
+	for i := 0; i < 64; i++ {
+		if err := s2.Put([]byte(fmt.Sprintf("pad-%d", i)), bytes.Repeat([]byte("x"), 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s2.Segments() == 0 {
+		t.Fatal("expected a flush")
+	}
+	if err := s2.Put([]byte("k"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s2.Get([]byte("k"))
+	if err != nil || !ok || string(v) != "new" {
+		t.Fatalf("Get after overwrite = %q, %v, %v", v, ok, err)
+	}
+}
+
+func TestFreezeFlushesAndAllowsConcurrentReads(t *testing.T) {
+	s := Open(Options{MemoryBudget: 1 << 20, TempDir: t.TempDir()})
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Segments() != 1 {
+		t.Fatalf("segments = %d, want 1", s.Segments())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v, ok, err := s.Get([]byte(fmt.Sprintf("k%03d", i)))
+				if err != nil || !ok || string(v) != fmt.Sprint(i) {
+					t.Errorf("goroutine %d: Get(k%03d) = %q, %v, %v", g, i, v, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestContainsAndLen(t *testing.T) {
+	s := Open(Options{TempDir: t.TempDir()})
+	defer s.Close()
+	if err := s.Put([]byte("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Contains([]byte("a"))
+	if err != nil || !ok {
+		t.Fatalf("Contains(a) = %v, %v", ok, err)
+	}
+	ok, err = s.Contains([]byte("b"))
+	if err != nil || ok {
+		t.Fatalf("Contains(b) = %v, %v", ok, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestCloseRemovesSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := Open(Options{MemoryBudget: 128, TempDir: dir})
+	for i := 0; i < 100; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%d", i)), bytes.Repeat([]byte("v"), 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Segments() == 0 {
+		t.Fatal("expected segments")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("segment files remain: %v", ents)
+	}
+	if _, _, err := s.Get([]byte("key-1")); err == nil {
+		t.Fatal("Get after Close should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestNegativeCache(t *testing.T) {
+	s := Open(Options{MemoryBudget: 64, TempDir: t.TempDir(), CacheEntries: 8})
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two lookups of a missing key: the second is served by the negative
+	// cache; both must agree.
+	for i := 0; i < 2; i++ {
+		if _, ok, err := s.Get([]byte("missing")); err != nil || ok {
+			t.Fatalf("lookup %d: %v %v", i, ok, err)
+		}
+	}
+	// And a present key looked up twice (second from cache).
+	for i := 0; i < 2; i++ {
+		v, ok, err := s.Get([]byte("key-07"))
+		if err != nil || !ok || string(v) != "v" {
+			t.Fatalf("lookup %d: %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	s := Open(Options{MemoryBudget: 2 << 10, TempDir: t.TempDir(), SparseEvery: 3, CacheEntries: 16})
+	defer s.Close()
+	oracle := make(map[string]string)
+	for op := 0; op < 5000; op++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(300))
+		if rng.Intn(2) == 0 {
+			v := fmt.Sprintf("v%d", rng.Int63())
+			oracle[k] = v
+			if err := s.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			v, ok, err := s.Get([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantOK := oracle[k]
+			if ok != wantOK || (ok && string(v) != want) {
+				t.Fatalf("op %d: Get(%s) = %q,%v; want %q,%v", op, k, v, ok, want, wantOK)
+			}
+		}
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", []byte("1"), true)
+	c.put("b", []byte("2"), true)
+	if _, _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.put("c", []byte("3"), true) // evicts b (LRU)
+	if _, _, ok := c.get("b"); ok {
+		t.Fatal("b should be evicted")
+	}
+	if v, present, ok := c.get("a"); !ok || !present || string(v) != "1" {
+		t.Fatal("a lost")
+	}
+	if v, present, ok := c.get("c"); !ok || !present || string(v) != "3" {
+		t.Fatal("c lost")
+	}
+	c.remove("a")
+	if _, _, ok := c.get("a"); ok {
+		t.Fatal("a should be removed")
+	}
+}
+
+func TestRepeatedLookupOfEmptyValueKey(t *testing.T) {
+	// Regression: a key stored with an empty value and served from a
+	// segment must stay visible on repeated lookups — the cache must
+	// not conflate empty values with negative entries. APRIORI-SCAN's
+	// membership dictionary stores exactly such keys.
+	s := Open(Options{MemoryBudget: 1, TempDir: t.TempDir()})
+	defer s.Close()
+	if err := s.Put([]byte("member"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ok, err := s.Contains([]byte("member"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("lookup %d: key with empty value reported missing", i)
+		}
+	}
+}
+
+func TestListInMemory(t *testing.T) {
+	l := NewList(1<<20, t.TempDir())
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != 10 || l.Spilled() {
+		t.Fatalf("Len=%d Spilled=%v", l.Len(), l.Spilled())
+	}
+	for i := 0; i < 10; i++ {
+		v, err := l.Get(i)
+		if err != nil || string(v) != fmt.Sprintf("rec-%d", i) {
+			t.Fatalf("Get(%d) = %q, %v", i, v, err)
+		}
+	}
+}
+
+func TestListSpill(t *testing.T) {
+	l := NewList(256, t.TempDir())
+	defer l.Close()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("record-%03d-%s", i, "padpadpad"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !l.Spilled() {
+		t.Fatal("expected spill")
+	}
+	// Random access across the spill boundary.
+	for _, i := range []int{0, 1, 50, n - 2, n - 1} {
+		v, err := l.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("record-%03d-padpadpad", i)
+		if string(v) != want {
+			t.Fatalf("Get(%d) = %q, want %q", i, v, want)
+		}
+	}
+	// Sequential iteration sees every record in order.
+	seen := 0
+	err := l.Each(func(i int, rec []byte) error {
+		want := fmt.Sprintf("record-%03d-padpadpad", i)
+		if string(rec) != want {
+			return fmt.Errorf("Each(%d) = %q, want %q", i, rec, want)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != n {
+		t.Fatalf("Each visited %d records, want %d", seen, n)
+	}
+}
+
+func TestListAppendAfterEach(t *testing.T) {
+	// Appending after iterating (interleaved use) must keep working.
+	l := NewList(128, t.TempDir())
+	defer l.Close()
+	for i := 0; i < 20; i++ {
+		if err := l.Append(bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Each(func(i int, rec []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := l.Get(20)
+	if err != nil || string(v) != "tail" {
+		t.Fatalf("Get(20) = %q, %v", v, err)
+	}
+}
+
+func TestListBounds(t *testing.T) {
+	l := NewList(0, t.TempDir())
+	defer l.Close()
+	if _, err := l.Get(0); err == nil {
+		t.Fatal("Get on empty list should fail")
+	}
+	if err := l.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Get(-1); err == nil {
+		t.Fatal("negative index should fail")
+	}
+	if _, err := l.Get(1); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("y")); err == nil {
+		t.Fatal("Append after Close should fail")
+	}
+}
+
+func TestListSpillAfterReadKeepsOffsets(t *testing.T) {
+	// A spill that happens after a read (which seeks the shared file
+	// handle) must append at the end of the file, not at the read
+	// position.
+	l := NewList(64, t.TempDir())
+	defer l.Close()
+	rec := func(i int) []byte { return []byte(fmt.Sprintf("payload-%04d-xxxxxxxx", i)) }
+	for i := 0; i < 10; i++ {
+		if err := l.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !l.Spilled() {
+		t.Fatal("expected initial spill")
+	}
+	if _, err := l.Get(0); err != nil { // seeks to offset 0
+		t.Fatal(err)
+	}
+	for i := 10; i < 30; i++ { // forces more spills after the read
+		if err := l.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		v, err := l.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != string(rec(i)) {
+			t.Fatalf("Get(%d) = %q, want %q", i, v, rec(i))
+		}
+	}
+}

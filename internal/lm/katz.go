@@ -1,0 +1,232 @@
+package lm
+
+import (
+	"math"
+
+	"ngramstats/internal/encoding"
+	"ngramstats/internal/sequence"
+)
+
+// KatzModel is an n-gram language model with Katz back-off (Katz 1987,
+// the paper's reference [24] for "back-off models to obtain more robust
+// estimates"). Unlike stupid backoff it produces true probabilities:
+// counts are discounted with Good-Turing estimates up to a cutoff, and
+// the freed mass is redistributed to unseen continuations via a
+// context-specific back-off weight α(ctx).
+type KatzModel struct {
+	base *Model
+	// k is the discount cutoff: counts above it are trusted undiscounted.
+	k int64
+	// discount[n][r] is the Good-Turing discount ratio d_r for n-grams
+	// of order n with count r (1 ≤ r ≤ k).
+	discount map[int]map[int64]float64
+	// alpha caches back-off state per encoded context.
+	alpha map[string]alphaEntry
+	// succTotal caches Σ_w c(ctx‖w) per encoded context; conditionals
+	// are normalized by it rather than by c(ctx), which avoids the
+	// sentence-final deficiency (a context occurring at a sentence end
+	// has no successor there).
+	succTotal map[string]int64
+}
+
+// DefaultKatzCutoff is the customary Good-Turing discount cutoff.
+const DefaultKatzCutoff = 5
+
+// NewKatz builds a Katz back-off model from an already-populated base
+// model (the counts of AddCount/FromResult). The base model must be
+// complete: for every counted n-gram, its prefix context must also be
+// counted — which holds for statistics computed with τ = 1, and
+// approximately for low τ (missing contexts fall back gracefully).
+func NewKatz(base *Model, cutoff int64) *KatzModel {
+	if cutoff < 1 {
+		cutoff = DefaultKatzCutoff
+	}
+	m := &KatzModel{
+		base:      base,
+		k:         cutoff,
+		discount:  make(map[int]map[int64]float64),
+		alpha:     make(map[string]alphaEntry),
+		succTotal: make(map[string]int64),
+	}
+	m.computeDiscounts()
+	return m
+}
+
+// computeDiscounts derives Good-Turing discount ratios per order from
+// the count-of-counts. Following Katz: with N_r the number of distinct
+// n-grams of count r,
+//
+//	d_r = (r*/r − (k+1)N_{k+1}/N_1) / (1 − (k+1)N_{k+1}/N_1),
+//	r*  = (r+1) N_{r+1}/N_r.
+//
+// Degenerate statistics (zero denominators, ratios outside (0, 1]) fall
+// back to d_r = 1 — no discounting — the standard practical guard.
+func (m *KatzModel) computeDiscounts() {
+	countOfCounts := make(map[int]map[int64]int64)
+	for key, c := range m.base.counts {
+		order := encoding.SeqLen([]byte(key))
+		if order < 1 {
+			continue
+		}
+		if countOfCounts[order] == nil {
+			countOfCounts[order] = make(map[int64]int64)
+		}
+		countOfCounts[order][c]++
+	}
+	for order, nr := range countOfCounts {
+		d := make(map[int64]float64)
+		n1 := float64(nr[1])
+		nk1 := float64(nr[m.k+1])
+		common := 0.0
+		if n1 > 0 {
+			common = float64(m.k+1) * nk1 / n1
+		}
+		for r := int64(1); r <= m.k; r++ {
+			d[r] = 1.0
+			if nr[r] == 0 || nr[r+1] == 0 || common >= 1 {
+				continue
+			}
+			rStar := float64(r+1) * float64(nr[r+1]) / float64(nr[r])
+			dr := (rStar/float64(r) - common) / (1 - common)
+			if dr > 0 && dr <= 1 {
+				d[r] = dr
+			}
+		}
+		m.discount[order] = d
+	}
+}
+
+// discounted returns the Good-Turing-discounted count of an n-gram.
+func (m *KatzModel) discounted(s sequence.Seq, c int64) float64 {
+	if c > m.k {
+		return float64(c)
+	}
+	if d, ok := m.discount[len(s)][c]; ok {
+		return d * float64(c)
+	}
+	return float64(c)
+}
+
+// Prob returns the Katz probability P(w | context). Contexts longer
+// than the model order are truncated.
+func (m *KatzModel) Prob(context sequence.Seq, w sequence.Term) float64 {
+	if len(context) > m.base.order-1 {
+		context = context[len(context)-(m.base.order-1):]
+	}
+	return m.prob(context, w)
+}
+
+func (m *KatzModel) prob(context sequence.Seq, w sequence.Term) float64 {
+	if len(context) == 0 {
+		// Unigram base case: plain relative frequency (undiscounted, so
+		// the base distribution sums to one over the observed
+		// vocabulary) with a small floor for unseen words.
+		c := m.base.Count(sequence.Seq{w})
+		if c > 0 {
+			return float64(c) / float64(m.base.total)
+		}
+		return 0.5 / float64(m.base.total+1)
+	}
+	full := append(sequence.Clone(context), w)
+	c := m.base.Count(full)
+	total := m.successorTotal(context)
+	if c > 0 && total > 0 {
+		if m.backoffState(context).noDiscount {
+			// Every continuation of this context is observed: there is
+			// no unseen event to receive freed mass, so counts are used
+			// undiscounted and the conditional sums to one directly.
+			return float64(c) / float64(total)
+		}
+		return m.discounted(full, c) / float64(total)
+	}
+	return m.backoffState(context).alpha * m.prob(context[1:], w)
+}
+
+// alphaEntry is the cached back-off state of one context.
+type alphaEntry struct {
+	alpha      float64
+	noDiscount bool
+}
+
+// successorTotal returns (and caches) Σ_w c(ctx‖w).
+func (m *KatzModel) successorTotal(context sequence.Seq) int64 {
+	key := string(encoding.EncodeSeq(context))
+	if t, ok := m.succTotal[key]; ok {
+		return t
+	}
+	var t int64
+	for _, s := range m.base.successors[key] {
+		t += s.count
+	}
+	m.succTotal[key] = t
+	return t
+}
+
+// backoffState computes (and caches) the back-off state of a context:
+// the weight α(ctx) — the probability mass freed by discounting the
+// seen continuations, normalized by the lower-order mass of the unseen
+// ones — and whether the context must skip discounting because no
+// unseen continuation exists to absorb freed mass.
+func (m *KatzModel) backoffState(context sequence.Seq) alphaEntry {
+	key := string(encoding.EncodeSeq(context))
+	if a, ok := m.alpha[key]; ok {
+		return a
+	}
+	a := m.computeAlpha(context)
+	m.alpha[key] = a
+	return a
+}
+
+func (m *KatzModel) computeAlpha(context sequence.Seq) alphaEntry {
+	total := m.successorTotal(context)
+	succ := m.base.successors[string(encoding.EncodeSeq(context))]
+	if total == 0 || len(succ) == 0 {
+		// Nothing observed: defer entirely to the lower order.
+		return alphaEntry{alpha: 1.0}
+	}
+	var seenMass, lowerSeenMass float64
+	for _, s := range succ {
+		full := append(sequence.Clone(context), s.term)
+		seenMass += m.discounted(full, s.count) / float64(total)
+		lowerSeenMass += m.prob(context[1:], s.term)
+	}
+	num := 1 - seenMass
+	den := 1 - lowerSeenMass
+	if den <= 1e-12 {
+		// The lower-order model assigns (almost) all its mass to the
+		// continuations already seen here: no unseen event can absorb
+		// discounted mass, so this context uses raw counts.
+		return alphaEntry{alpha: math.SmallestNonzeroFloat64, noDiscount: true}
+	}
+	if num <= 0 {
+		return alphaEntry{alpha: math.SmallestNonzeroFloat64}
+	}
+	return alphaEntry{alpha: num / den}
+}
+
+// LogProb returns the natural log-probability of a sequence.
+func (m *KatzModel) LogProb(s sequence.Seq) float64 {
+	var total float64
+	for i := range s {
+		lo := i - (m.base.order - 1)
+		if lo < 0 {
+			lo = 0
+		}
+		total += math.Log(m.Prob(s[lo:i], s[i]))
+	}
+	return total
+}
+
+// Perplexity returns exp(−(1/N) Σ log P) over the test sentences.
+func (m *KatzModel) Perplexity(test []sequence.Seq) float64 {
+	var logSum float64
+	var n int
+	for _, s := range test {
+		logSum += m.LogProb(s)
+		n += len(s)
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(-logSum / float64(n))
+}

@@ -1,0 +1,159 @@
+package lm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ngramstats/internal/sequence"
+)
+
+// katzTrainingModel builds a base model with full (τ=1) counts over a
+// synthetic Markov-ish corpus so that count-of-count statistics are
+// non-degenerate.
+func katzTrainingModel(t *testing.T, order int) (*Model, []sequence.Seq) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(8))
+	m := New(order, DefaultAlpha)
+	var corpus []sequence.Seq
+	const vocab = 12
+	for d := 0; d < 200; d++ {
+		l := 5 + rng.Intn(10)
+		s := make(sequence.Seq, l)
+		prev := sequence.Term(rng.Intn(vocab))
+		for i := range s {
+			// Biased transitions: term t prefers t and (t+1) mod vocab.
+			switch rng.Intn(4) {
+			case 0, 1:
+				s[i] = (prev + 1) % vocab
+			case 2:
+				s[i] = prev
+			default:
+				s[i] = sequence.Term(rng.Intn(vocab))
+			}
+			prev = s[i]
+		}
+		corpus = append(corpus, s)
+		for b := 0; b < len(s); b++ {
+			for e := b + 1; e <= len(s) && e-b <= order; e++ {
+				m.AddCount(s[b:e], 1)
+			}
+		}
+	}
+	m.Finish()
+	return m, corpus
+}
+
+// TestKatzProbabilitiesSumToOne is the defining property Katz has and
+// stupid backoff lacks: Σ_w P(w | ctx) ≈ 1 for observed contexts.
+func TestKatzProbabilitiesSumToOne(t *testing.T) {
+	base, corpus := katzTrainingModel(t, 3)
+	katz := NewKatz(base, DefaultKatzCutoff)
+	const vocab = 12
+	contexts := []sequence.Seq{
+		{},
+		{corpus[0][0]},
+		{corpus[0][0], corpus[0][1]},
+		{corpus[1][0]},
+	}
+	for _, ctx := range contexts {
+		var sum float64
+		for w := sequence.Term(0); w < vocab; w++ {
+			p := katz.Prob(ctx, w)
+			if p < 0 || p > 1 {
+				t.Fatalf("P(%d | %v) = %f out of range", w, ctx, p)
+			}
+			sum += p
+		}
+		// The small unseen-unigram floor plus discount guards allow a
+		// little slack.
+		if math.Abs(sum-1) > 0.05 {
+			t.Fatalf("Σ P(w | %v) = %f, want ≈ 1", ctx, sum)
+		}
+	}
+}
+
+// TestKatzSeenBeatsUnseen: observed continuations outscore unobserved
+// ones in the same context.
+func TestKatzSeenBeatsUnseen(t *testing.T) {
+	base, corpus := katzTrainingModel(t, 3)
+	katz := NewKatz(base, DefaultKatzCutoff)
+	// Find a context with both kinds of continuation.
+	s := corpus[0]
+	ctx := s[0:1]
+	seen := s[1]
+	var unseen sequence.Term
+	found := false
+	for w := sequence.Term(0); w < 12; w++ {
+		if base.Count(append(sequence.Clone(ctx), w)) == 0 {
+			unseen = w
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no unseen continuation in this corpus")
+	}
+	if katz.Prob(ctx, seen) <= katz.Prob(ctx, unseen) {
+		t.Fatalf("P(seen)=%f ≤ P(unseen)=%f", katz.Prob(ctx, seen), katz.Prob(ctx, unseen))
+	}
+}
+
+// TestKatzPerplexityOrdering: the trigram Katz model must beat the
+// unigram Katz model on in-domain text (true probabilities make
+// cross-order perplexities comparable).
+func TestKatzPerplexityOrdering(t *testing.T) {
+	base3, corpus := katzTrainingModel(t, 3)
+	base1, _ := katzTrainingModel(t, 1)
+	katz3 := NewKatz(base3, DefaultKatzCutoff)
+	katz1 := NewKatz(base1, DefaultKatzCutoff)
+	test := corpus[:40]
+	p3 := katz3.Perplexity(test)
+	p1 := katz1.Perplexity(test)
+	if math.IsNaN(p3) || math.IsNaN(p1) {
+		t.Fatal("NaN perplexity")
+	}
+	if p3 >= p1 {
+		t.Fatalf("trigram Katz perplexity %f should beat unigram %f", p3, p1)
+	}
+}
+
+// TestKatzDiscountsWithinRange: derived discount ratios are in (0, 1].
+func TestKatzDiscountsWithinRange(t *testing.T) {
+	base, _ := katzTrainingModel(t, 3)
+	katz := NewKatz(base, DefaultKatzCutoff)
+	for order, d := range katz.discount {
+		for r, dr := range d {
+			if dr <= 0 || dr > 1 {
+				t.Fatalf("d[order=%d][r=%d] = %f", order, r, dr)
+			}
+		}
+	}
+}
+
+// TestKatzDegenerateInputs: tiny models fall back gracefully.
+func TestKatzDegenerateInputs(t *testing.T) {
+	m := New(2, DefaultAlpha)
+	m.AddCount(sequence.Seq{1}, 3)
+	m.AddCount(sequence.Seq{2}, 1)
+	m.AddCount(sequence.Seq{1, 2}, 1)
+	m.Finish()
+	katz := NewKatz(m, 0) // cutoff < 1 selects the default
+	p := katz.Prob(sequence.Seq{1}, 2)
+	if p <= 0 || p > 1 {
+		t.Fatalf("P = %f", p)
+	}
+	// Unknown context backs off to unigram.
+	p2 := katz.Prob(sequence.Seq{9}, 1)
+	if p2 <= 0 || p2 > 1 {
+		t.Fatalf("backoff P = %f", p2)
+	}
+	// Empty test set.
+	if !math.IsNaN(katz.Perplexity(nil)) {
+		t.Fatal("empty perplexity should be NaN")
+	}
+	// LogProb finite on short input.
+	if lp := katz.LogProb(sequence.Seq{1, 2}); math.IsInf(lp, 0) || math.IsNaN(lp) {
+		t.Fatalf("LogProb = %f", lp)
+	}
+}

@@ -1,0 +1,226 @@
+// Package lm implements an n-gram language model with stupid backoff
+// (Brants et al., EMNLP 2007) on top of computed n-gram statistics —
+// the paper's first use case (Section VII-D: "training a language
+// model", with parameters chosen like Google's n-gram corpus, σ=5 and a
+// low minimum collection frequency). Stupid backoff is the scheme
+// Brants et al. pair with exactly the kind of MapReduce-counted
+// n-grams this library produces: a relative-frequency score that backs
+// off to shorter contexts with a constant penalty α instead of
+// normalized discounting.
+package lm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"ngramstats/internal/core"
+	"ngramstats/internal/encoding"
+	"ngramstats/internal/sequence"
+)
+
+// DefaultAlpha is the backoff penalty recommended by Brants et al.
+const DefaultAlpha = 0.4
+
+// Model is a stupid-backoff n-gram language model.
+type Model struct {
+	order  int
+	alpha  float64
+	counts map[string]int64
+	// successors indexes, per context, the observed next terms with
+	// their counts (for sampling).
+	successors map[string][]successor
+	total      int64
+}
+
+type successor struct {
+	term  sequence.Term
+	count int64
+}
+
+// New builds an empty model of the given maximum order (n-gram length)
+// and backoff penalty. Counts are added with AddCount or imported with
+// FromResult.
+func New(order int, alpha float64) *Model {
+	if order < 1 {
+		order = 1
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = DefaultAlpha
+	}
+	return &Model{
+		order:      order,
+		alpha:      alpha,
+		counts:     make(map[string]int64),
+		successors: make(map[string][]successor),
+	}
+}
+
+// Order returns the model's maximum n-gram length.
+func (m *Model) Order() int { return m.order }
+
+// AddCount records the collection frequency of an n-gram. N-grams
+// longer than the model order are ignored.
+func (m *Model) AddCount(s sequence.Seq, cf int64) {
+	if len(s) == 0 || len(s) > m.order || cf <= 0 {
+		return
+	}
+	key := string(encoding.EncodeSeq(s))
+	m.counts[key] += cf
+	if len(s) == 1 {
+		m.total += cf
+	}
+	ctx := string(encoding.EncodeSeq(s[:len(s)-1]))
+	m.successors[ctx] = append(m.successors[ctx], successor{term: s[len(s)-1], count: cf})
+}
+
+// FromResult imports every n-gram of a computed result set into a new
+// model.
+func FromResult(rs *core.ResultSet, order int, alpha float64) (*Model, error) {
+	m := New(order, alpha)
+	err := rs.Each(func(s sequence.Seq, cf int64) error {
+		m.AddCount(s, cf)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.Finish()
+	return m, nil
+}
+
+// Finish sorts successor lists; call it once after all counts are
+// added (FromResult does so automatically).
+func (m *Model) Finish() {
+	for ctx := range m.successors {
+		s := m.successors[ctx]
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].count != s[j].count {
+				return s[i].count > s[j].count
+			}
+			return s[i].term < s[j].term
+		})
+	}
+}
+
+// Count returns the recorded collection frequency of an n-gram.
+func (m *Model) Count(s sequence.Seq) int64 {
+	return m.counts[string(encoding.EncodeSeq(s))]
+}
+
+// Score returns the stupid-backoff score S(w | context): the relative
+// frequency of the longest matching n-gram ending in w, scaled by α per
+// backoff step. Scores are not normalized probabilities but behave like
+// them in ranking and perplexity-style comparisons.
+func (m *Model) Score(context sequence.Seq, w sequence.Term) float64 {
+	if len(context) > m.order-1 {
+		context = context[len(context)-(m.order-1):]
+	}
+	penalty := 1.0
+	for {
+		full := append(sequence.Clone(context), w)
+		num := m.Count(full)
+		if num > 0 {
+			var den int64
+			if len(context) == 0 {
+				den = m.total
+			} else {
+				den = m.Count(context)
+			}
+			if den > 0 {
+				return penalty * float64(num) / float64(den)
+			}
+		}
+		if len(context) == 0 {
+			// Unseen unigram: a small floor keeps scores finite.
+			return penalty * 0.5 / float64(m.total+1)
+		}
+		context = context[1:]
+		penalty *= m.alpha
+	}
+}
+
+// LogScore returns the natural log of the sequence's total score under
+// the model, scoring each term given its preceding context.
+func (m *Model) LogScore(s sequence.Seq) float64 {
+	var total float64
+	for i := range s {
+		lo := i - (m.order - 1)
+		if lo < 0 {
+			lo = 0
+		}
+		total += math.Log(m.Score(s[lo:i], s[i]))
+	}
+	return total
+}
+
+// Perplexity returns exp(−(1/N) Σ log S) over all terms of the test
+// sentences — lower is better.
+func (m *Model) Perplexity(test []sequence.Seq) float64 {
+	var logSum float64
+	var n int
+	for _, s := range test {
+		logSum += m.LogScore(s)
+		n += len(s)
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(-logSum / float64(n))
+}
+
+// Generate samples a continuation of the prefix, drawing each next term
+// proportionally to its count in the longest matching context. It
+// returns the prefix extended by up to n terms, stopping early if no
+// context has successors.
+func (m *Model) Generate(rng *rand.Rand, prefix sequence.Seq, n int) sequence.Seq {
+	out := sequence.Clone(prefix)
+	for i := 0; i < n; i++ {
+		ctx := out
+		if len(ctx) > m.order-1 {
+			ctx = ctx[len(ctx)-(m.order-1):]
+		}
+		var succ []successor
+		for {
+			succ = m.successors[string(encoding.EncodeSeq(ctx))]
+			if len(succ) > 0 || len(ctx) == 0 {
+				break
+			}
+			ctx = ctx[1:]
+		}
+		if len(succ) == 0 {
+			break
+		}
+		var total int64
+		for _, s := range succ {
+			total += s.count
+		}
+		pick := rng.Int63n(total)
+		var next sequence.Term
+		for _, s := range succ {
+			pick -= s.count
+			if pick < 0 {
+				next = s.term
+				break
+			}
+		}
+		out = append(out, next)
+	}
+	return out
+}
+
+// Stats summarizes the model contents.
+func (m *Model) Stats() string {
+	perOrder := make([]int, m.order+1)
+	for k := range m.counts {
+		if l := encoding.SeqLen([]byte(k)); l >= 1 && l <= m.order {
+			perOrder[l]++
+		}
+	}
+	out := ""
+	for l := 1; l <= m.order; l++ {
+		out += fmt.Sprintf("%d-grams: %d\n", l, perOrder[l])
+	}
+	return out
+}

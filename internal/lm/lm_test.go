@@ -1,0 +1,155 @@
+package lm
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ngramstats/internal/core"
+	"ngramstats/internal/corpus"
+	"ngramstats/internal/sequence"
+)
+
+func trainingCollection() *corpus.Collection {
+	// "the cat sat", "the cat ran", "the dog sat" with ids:
+	// the=0, cat=1, sat=2, dog=3, ran=4.
+	return &corpus.Collection{Docs: []corpus.Document{
+		{ID: 0, Sentences: []sequence.Seq{{0, 1, 2}}},
+		{ID: 1, Sentences: []sequence.Seq{{0, 1, 4}}},
+		{ID: 2, Sentences: []sequence.Seq{{0, 3, 2}}},
+	}}
+}
+
+func trainedModel(t *testing.T) *Model {
+	t.Helper()
+	run, err := core.Compute(context.Background(), trainingCollection(), core.SuffixSigma, core.Params{
+		Tau: 1, Sigma: 3, NumReducers: 2, InputSplits: 1, TempDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromResult(run.Result, 3, DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCounts(t *testing.T) {
+	m := trainedModel(t)
+	if got := m.Count(sequence.Seq{0}); got != 3 {
+		t.Fatalf("count(the) = %d, want 3", got)
+	}
+	if got := m.Count(sequence.Seq{0, 1}); got != 2 {
+		t.Fatalf("count(the cat) = %d, want 2", got)
+	}
+	if got := m.Count(sequence.Seq{0, 1, 2}); got != 1 {
+		t.Fatalf("count(the cat sat) = %d, want 1", got)
+	}
+}
+
+func TestScoreRelativeFrequency(t *testing.T) {
+	m := trainedModel(t)
+	// P(cat | the) = count(the cat)/count(the) = 2/3.
+	if got := m.Score(sequence.Seq{0}, 1); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Fatalf("S(cat|the) = %f, want 2/3", got)
+	}
+	// P(sat | the cat) = 1/2.
+	if got := m.Score(sequence.Seq{0, 1}, 2); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("S(sat|the cat) = %f, want 1/2", got)
+	}
+}
+
+func TestScoreBacksOff(t *testing.T) {
+	m := trainedModel(t)
+	// "dog ran" never occurs: back off to unigram ran with penalty α
+	// (context ⟨dog⟩ exists but has no successor ran; ⟨ran⟩ unigram
+	// cf=1, total=9) → α · 1/9.
+	got := m.Score(sequence.Seq{3}, 4)
+	want := DefaultAlpha * 1.0 / 9.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("backoff score = %f, want %f", got, want)
+	}
+}
+
+func TestScoreUnseenUnigram(t *testing.T) {
+	m := trainedModel(t)
+	got := m.Score(nil, 99)
+	if got <= 0 || math.IsInf(got, 0) {
+		t.Fatalf("unseen unigram score = %f", got)
+	}
+}
+
+func TestSeenSequencesScoreHigher(t *testing.T) {
+	m := trainedModel(t)
+	seen := m.LogScore(sequence.Seq{0, 1, 2})   // the cat sat
+	unseen := m.LogScore(sequence.Seq{2, 4, 3}) // sat ran dog
+	if seen <= unseen {
+		t.Fatalf("seen %f should beat unseen %f", seen, unseen)
+	}
+}
+
+func TestPerplexity(t *testing.T) {
+	m := trainedModel(t)
+	inDomain := m.Perplexity([]sequence.Seq{{0, 1, 2}, {0, 3, 2}})
+	outDomain := m.Perplexity([]sequence.Seq{{4, 4, 4}, {3, 3, 3}})
+	if math.IsNaN(inDomain) || math.IsNaN(outDomain) {
+		t.Fatal("perplexity is NaN")
+	}
+	if inDomain >= outDomain {
+		t.Fatalf("in-domain perplexity %f should be lower than out-of-domain %f", inDomain, outDomain)
+	}
+	if !math.IsNaN(m.Perplexity(nil)) {
+		t.Fatal("empty test set should yield NaN")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	m := trainedModel(t)
+	rng := rand.New(rand.NewSource(5))
+	out := m.Generate(rng, sequence.Seq{0}, 2) // start from "the"
+	if len(out) < 2 {
+		t.Fatalf("generated only %v", out)
+	}
+	// Second term must be an observed successor of "the": cat or dog.
+	if out[1] != 1 && out[1] != 3 {
+		t.Fatalf("impossible continuation %v", out)
+	}
+	// Generation is deterministic under a fixed seed.
+	rng2 := rand.New(rand.NewSource(5))
+	out2 := m.Generate(rng2, sequence.Seq{0}, 2)
+	if !sequence.Equal(out, out2) {
+		t.Fatal("generation not deterministic under fixed seed")
+	}
+}
+
+func TestGenerateDeadEnd(t *testing.T) {
+	m := New(2, DefaultAlpha)
+	m.AddCount(sequence.Seq{1}, 1)
+	m.Finish()
+	rng := rand.New(rand.NewSource(1))
+	out := m.Generate(rng, sequence.Seq{7}, 5)
+	// Only successor context is empty → generates term 1 repeatedly.
+	if len(out) != 6 {
+		t.Fatalf("generated %v", out)
+	}
+}
+
+func TestAddCountIgnoresInvalid(t *testing.T) {
+	m := New(2, DefaultAlpha)
+	m.AddCount(nil, 5)
+	m.AddCount(sequence.Seq{1, 2, 3}, 5) // longer than order
+	m.AddCount(sequence.Seq{1}, 0)       // non-positive count
+	if len(m.counts) != 0 {
+		t.Fatalf("invalid counts accepted: %v", m.counts)
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := trainedModel(t)
+	s := m.Stats()
+	if s == "" {
+		t.Fatal("empty stats")
+	}
+}

@@ -1,0 +1,118 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Standard counter names, mirroring the Hadoop counters the paper reads
+// for its measurements (Section VII-A): "bytes transferred" is
+// MAP_OUTPUT_BYTES and "# records" is MAP_OUTPUT_RECORDS, both aggregated
+// over all jobs a method launches.
+const (
+	CounterMapInputRecords    = "MAP_INPUT_RECORDS"
+	CounterMapOutputRecords   = "MAP_OUTPUT_RECORDS"
+	CounterMapOutputBytes     = "MAP_OUTPUT_BYTES"
+	CounterCombineInputRecs   = "COMBINE_INPUT_RECORDS"
+	CounterCombineOutputRecs  = "COMBINE_OUTPUT_RECORDS"
+	CounterReduceShuffleBytes = "REDUCE_SHUFFLE_BYTES"
+	CounterReduceInputGroups  = "REDUCE_INPUT_GROUPS"
+	CounterReduceInputRecords = "REDUCE_INPUT_RECORDS"
+	CounterReduceOutputRecs   = "REDUCE_OUTPUT_RECORDS"
+	CounterReduceOutputBytes  = "REDUCE_OUTPUT_BYTES"
+	CounterSpilledRecords     = "SPILLED_RECORDS"
+	CounterLaunchedJobs       = "LAUNCHED_JOBS"
+	CounterMapPhaseMillis     = "MAP_PHASE_MILLIS"
+	CounterReducePhaseMillis  = "REDUCE_PHASE_MILLIS"
+)
+
+// Counters is a concurrency-safe named counter group, the equivalent of
+// a Hadoop job's counter set. The zero value is not usable; call
+// NewCounters.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]*atomic.Int64
+}
+
+// NewCounters returns an empty counter group.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]*atomic.Int64)}
+}
+
+func (c *Counters) counter(name string) *atomic.Int64 {
+	c.mu.Lock()
+	v, ok := c.m[name]
+	if !ok {
+		v = new(atomic.Int64)
+		c.m[name] = v
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// Add adds delta to the named counter, creating it if needed.
+func (c *Counters) Add(name string, delta int64) {
+	c.counter(name).Add(delta)
+}
+
+// Get returns the value of the named counter (zero if absent).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	v, ok := c.m[name]
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return v.Load()
+}
+
+// Merge adds every counter of other into c. Used by the Driver to
+// aggregate measures "over all Hadoop jobs launched" as the paper does
+// for APRIORI-SCAN and APRIORI-INDEX.
+func (c *Counters) Merge(other *Counters) {
+	if other == nil {
+		return
+	}
+	other.mu.Lock()
+	names := make([]string, 0, len(other.m))
+	for name := range other.m {
+		names = append(names, name)
+	}
+	vals := make([]int64, len(names))
+	for i, name := range names {
+		vals[i] = other.m[name].Load()
+	}
+	other.mu.Unlock()
+	for i, name := range names {
+		c.Add(name, vals[i])
+	}
+}
+
+// Snapshot returns a copy of all counters as a plain map.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for name, v := range c.m {
+		out[name] = v.Load()
+	}
+	return out
+}
+
+// String renders the counters sorted by name, one per line.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=%d\n", name, snap[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,214 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func mkKV(k, v string) KV { return KV{Key: []byte(k), Value: []byte(v)} }
+
+func TestMemDatasetBasics(t *testing.T) {
+	d := NewMemDataset([][]KV{
+		{mkKV("a", "1"), mkKV("b", "2")},
+		nil,
+		{mkKV("c", "3")},
+	})
+	if d.NumPartitions() != 3 {
+		t.Fatalf("NumPartitions = %d", d.NumPartitions())
+	}
+	if d.Records() != 3 {
+		t.Fatalf("Records = %d", d.Records())
+	}
+	var got []string
+	for p := 0; p < d.NumPartitions(); p++ {
+		err := d.Scan(p, func(k, v []byte) error {
+			got = append(got, string(k)+"="+string(v))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fmt.Sprint(got) != "[a=1 b=2 c=3]" {
+		t.Fatalf("scan = %v", got)
+	}
+	if err := d.Scan(99, func(k, v []byte) error { return nil }); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+	if len(d.Partition(0)) != 2 {
+		t.Fatalf("Partition(0) = %v", d.Partition(0))
+	}
+	if err := d.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanStopsOnError(t *testing.T) {
+	d := NewMemDataset([][]KV{{mkKV("a", "1"), mkKV("b", "2")}})
+	boom := errors.New("boom")
+	n := 0
+	err := d.Scan(0, func(k, v []byte) error {
+		n++
+		return boom
+	})
+	if !errors.Is(err, boom) || n != 1 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+func TestConcatDatasets(t *testing.T) {
+	a := NewMemDataset([][]KV{{mkKV("a", "1")}, {mkKV("b", "2")}})
+	b := NewMemDataset([][]KV{{mkKV("c", "3")}})
+	c := ConcatDatasets(a, b)
+	if c.NumPartitions() != 3 {
+		t.Fatalf("NumPartitions = %d", c.NumPartitions())
+	}
+	if c.Records() != 3 {
+		t.Fatalf("Records = %d", c.Records())
+	}
+	recs, err := CollectDataset(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 || string(recs[2].Key) != "c" {
+		t.Fatalf("collected %v", recs)
+	}
+	if err := c.Scan(3, func(k, v []byte) error { return nil }); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+	if err := c.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// Single-dataset concat returns the dataset itself.
+	if ConcatDatasets(a) != Dataset(a) {
+		t.Fatal("single concat should be identity")
+	}
+}
+
+func TestFileDatasetViaJobAndChaining(t *testing.T) {
+	// Produce a file-backed dataset, then chain it into a second job via
+	// DatasetInput — the disk-backed variant of the APRIORI chaining.
+	dir := t.TempDir()
+	res, err := Run(context.Background(), &Job{
+		Name:        "produce",
+		Input:       SliceInput([]KV{mkKV("d", "a b a c b a")}, 1),
+		NewMapper:   func() Mapper { return wcMapper{} },
+		NewReducer:  func() Reducer { return sumReducer{} },
+		NumReducers: 2,
+		Sink:        FileSinkFactory(dir),
+		TempDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(context.Background(), &Job{
+		Name:  "consume",
+		Input: DatasetInput(res.Output),
+		NewMapper: func() Mapper {
+			return MapperFunc(func(key, value []byte, emit Emit) error {
+				return emit(key, value)
+			})
+		},
+		NewReducer:  func() Reducer { return sumReducer{} },
+		NumReducers: 1,
+		TempDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectCounts(t, res2.Output)
+	if got["a"] != 3 || got["b"] != 2 || got["c"] != 1 {
+		t.Fatalf("counts = %v", got)
+	}
+	if err := res.Output.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseTimingCounters(t *testing.T) {
+	res, err := Run(context.Background(), &Job{
+		Name:        "timing",
+		Input:       SliceInput([]KV{mkKV("d", "x y z")}, 1),
+		NewMapper:   func() Mapper { return wcMapper{} },
+		NewReducer:  func() Reducer { return sumReducer{} },
+		NumReducers: 2,
+		TempDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phases complete in under a millisecond here, so only presence of
+	// the counters (≥ 0) and their sum ≤ wallclock is checkable.
+	m := res.Counters.Get(CounterMapPhaseMillis)
+	r := res.Counters.Get(CounterReducePhaseMillis)
+	if m < 0 || r < 0 {
+		t.Fatalf("negative phase timings: %d %d", m, r)
+	}
+	if m+r > res.Wallclock.Milliseconds()+1 {
+		t.Fatalf("phases (%d+%d ms) exceed wallclock %v", m, r, res.Wallclock)
+	}
+}
+
+func TestEmptyPartitionsInFileSink(t *testing.T) {
+	// With more partitions than keys, some partitions stay empty; the
+	// file dataset must scan them as empty without error.
+	dir := t.TempDir()
+	res, err := Run(context.Background(), &Job{
+		Name:        "sparse",
+		Input:       SliceInput([]KV{mkKV("d", "onlyword")}, 1),
+		NewMapper:   func() Mapper { return wcMapper{} },
+		NewReducer:  func() Reducer { return sumReducer{} },
+		NumReducers: 8,
+		Sink:        FileSinkFactory(dir),
+		TempDir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonEmpty := 0
+	for p := 0; p < res.Output.NumPartitions(); p++ {
+		n := 0
+		if err := res.Output.Scan(p, func(k, v []byte) error { n++; return nil }); err != nil {
+			t.Fatalf("partition %d: %v", p, err)
+		}
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("nonEmpty = %d, want 1", nonEmpty)
+	}
+	if err := res.Output.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverReport(t *testing.T) {
+	d := NewDriver()
+	for i := 0; i < 2; i++ {
+		_, err := d.Run(context.Background(), &Job{
+			Name:        fmt.Sprintf("job-%d", i),
+			Input:       SliceInput([]KV{mkKV("d", "a b a")}, 1),
+			NewMapper:   func() Mapper { return wcMapper{} },
+			NewReducer:  func() Reducer { return sumReducer{} },
+			NumReducers: 2,
+			TempDir:     t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := d.Report()
+	for _, want := range []string{"#1", "#2", "TOTAL", "wallclock"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	s := Summary("x", d.JobResults[0])
+	if s.MapTasks != 1 || s.InputRecords != 1 || s.MapOutRecords != 3 || s.OutputRecords != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+}

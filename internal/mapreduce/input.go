@@ -1,0 +1,78 @@
+package mapreduce
+
+// Input describes the input of a job as a set of splits, each processed
+// by one map task — the analogue of Hadoop input splits over HDFS
+// blocks.
+type Input interface {
+	Splits() ([]Split, error)
+}
+
+// Split is one map task's share of the input.
+type Split interface {
+	// Records calls yield for each input record. The slices passed to
+	// yield are only valid for the duration of the call.
+	Records(yield func(key, value []byte) error) error
+}
+
+// SplitFunc adapts a function to the Split interface.
+type SplitFunc func(yield func(key, value []byte) error) error
+
+// Records implements Split.
+func (f SplitFunc) Records(yield func(key, value []byte) error) error { return f(yield) }
+
+// memSplit is a Split over a record slice.
+type memSplit []KV
+
+func (s memSplit) Records(yield func(key, value []byte) error) error {
+	for _, r := range s {
+		if err := yield(r.Key, r.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// memInput is an Input over pre-built splits.
+type memInput struct{ splits []Split }
+
+func (in *memInput) Splits() ([]Split, error) { return in.splits, nil }
+
+// SliceInput chops records into at most n splits of near-equal size.
+func SliceInput(records []KV, n int) Input {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(records) {
+		n = len(records)
+	}
+	in := &memInput{}
+	if n == 0 {
+		return in
+	}
+	per := (len(records) + n - 1) / n
+	for off := 0; off < len(records); off += per {
+		end := off + per
+		if end > len(records) {
+			end = len(records)
+		}
+		in.splits = append(in.splits, memSplit(records[off:end]))
+	}
+	return in
+}
+
+// SplitsInput wraps explicit splits as an Input.
+func SplitsInput(splits ...Split) Input { return &memInput{splits: splits} }
+
+// DatasetInput exposes a previous job's output as the input of the next
+// job, one split per partition. This is how the APRIORI iterations and
+// the maximality post-filter chain jobs.
+func DatasetInput(d Dataset) Input {
+	in := &memInput{}
+	for p := 0; p < d.NumPartitions(); p++ {
+		p := p
+		in.splits = append(in.splits, SplitFunc(func(yield func(key, value []byte) error) error {
+			return d.Scan(p, yield)
+		}))
+	}
+	return in
+}

@@ -1,0 +1,658 @@
+// Package mapreduce is an in-process MapReduce runtime modeled on
+// Hadoop, the substrate every method of the paper runs on. It provides
+// the programming model of Dean & Ghemawat — map(k1,v1) → list<(k2,v2)>,
+// sort/group, reduce(k2, list<v2>) → list<(k3,v3)> — together with the
+// Hadoop facilities the paper's implementation section (Section V)
+// depends on: custom partitioners and sort comparators, combiners for
+// local aggregation, job counters (MAP_OUTPUT_BYTES, MAP_OUTPUT_RECORDS,
+// …), side data in the style of the distributed cache, configurable
+// map/reduce slot pools, and a driver for multi-job workflows.
+//
+// The shuffle is backed by bounded-memory external sorters (one per
+// reduce partition) that spill sorted runs to disk and merge them for
+// the reduce phase, so jobs are not limited by main memory.
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"ngramstats/internal/extsort"
+)
+
+// Emit passes a key-value pair downstream: from a mapper into the
+// shuffle, or from a reducer into the job output.
+type Emit func(key, value []byte) error
+
+// Mapper consumes input records and emits intermediate records. A fresh
+// Mapper is created per map task via Job.NewMapper.
+type Mapper interface {
+	Map(key, value []byte, emit Emit) error
+}
+
+// Reducer consumes one group of intermediate records that share a key
+// (under the job's group comparator) and emits output records. A fresh
+// Reducer is created per reduce task via Job.NewReducer (and per map
+// task for combiners via Job.NewCombiner).
+type Reducer interface {
+	Reduce(key []byte, values *Values, emit Emit) error
+}
+
+// TaskSetup is implemented by mappers/reducers that need per-task
+// initialization (the analogue of Hadoop's setup()).
+type TaskSetup interface {
+	Setup(tc *TaskContext) error
+}
+
+// TaskCleanup is implemented by mappers/reducers that need a final
+// flush after all input is consumed (the analogue of Hadoop's
+// cleanup()). SUFFIX-σ uses this to flush its stacks (Algorithm 4).
+type TaskCleanup interface {
+	Cleanup(emit Emit) error
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(key, value []byte, emit Emit) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(key, value []byte, emit Emit) error { return f(key, value, emit) }
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key []byte, values *Values, emit Emit) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key []byte, values *Values, emit Emit) error {
+	return f(key, values, emit)
+}
+
+// Partitioner assigns a key to one of r reduce partitions.
+type Partitioner func(key []byte, r int) int
+
+// DefaultPartitioner hashes the whole key (FNV-1a), Hadoop's
+// HashPartitioner equivalent.
+func DefaultPartitioner(key []byte, r int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(r))
+}
+
+// TaskContext carries per-task information into Setup.
+type TaskContext struct {
+	// JobName is the name of the running job.
+	JobName string
+	// TaskID is the index of the task within its phase.
+	TaskID int
+	// Phase is "map", "combine", or "reduce".
+	Phase string
+	// Partition is the reduce partition (reduce phase only, else -1).
+	Partition int
+	// NumReducers is the number of reduce partitions.
+	NumReducers int
+	// Counters is the job's counter group, for custom counters.
+	Counters *Counters
+	// SideData is the job's read-only side data (distributed cache).
+	SideData map[string][]byte
+	// TempDir is the job's scratch directory.
+	TempDir string
+}
+
+// Job configures one MapReduce job.
+type Job struct {
+	// Name identifies the job in logs and errors.
+	Name string
+	// Input provides the input splits. Required.
+	Input Input
+	// NewMapper creates a mapper per map task. Required.
+	NewMapper func() Mapper
+	// NewCombiner, if non-nil, creates a combiner applied to each map
+	// task's sorted local output before it enters the shuffle (local
+	// aggregation, Section V).
+	NewCombiner func() Reducer
+	// NewReducer creates a reducer per reduce task. If nil the job is
+	// map-only: mapper output goes straight to the sink, partitioned but
+	// unsorted.
+	NewReducer func() Reducer
+	// Partition assigns intermediate keys to reduce partitions. Defaults
+	// to DefaultPartitioner. SUFFIX-σ overrides it to partition by first
+	// term only.
+	Partition Partitioner
+	// Compare is the shuffle sort order. Defaults to bytewise comparison.
+	// SUFFIX-σ overrides it with the reverse lexicographic comparator.
+	Compare extsort.Compare
+	// GroupCompare decides which consecutive sorted keys form one reduce
+	// group. Defaults to Compare.
+	GroupCompare extsort.Compare
+	// NumReducers is the number of reduce partitions R. Defaults to
+	// 2×GOMAXPROCS.
+	NumReducers int
+	// MapSlots bounds the number of concurrently executing map tasks,
+	// like the per-cluster map slot count in the paper's setup
+	// (Section VII-A). Defaults to GOMAXPROCS.
+	MapSlots int
+	// ReduceSlots bounds the number of concurrently executing reduce
+	// tasks. Defaults to GOMAXPROCS.
+	ReduceSlots int
+	// ShuffleMemory is the total memory budget in bytes for shuffle
+	// buffering across all partitions; beyond it, sorted runs spill to
+	// disk. Defaults to 256 MiB.
+	ShuffleMemory int
+	// CombineMemory is the per-map-task memory budget for combiner
+	// buffering. Defaults to 32 MiB.
+	CombineMemory int
+	// TempDir is the scratch directory for spills. Empty selects the
+	// system default.
+	TempDir string
+	// Sink materializes the output. Defaults to MemSinkFactory.
+	Sink SinkFactory
+	// SideData is read-only data shared with every task, the analogue of
+	// Hadoop's distributed cache (used by APRIORI-SCAN for the frequent
+	// (k−1)-gram dictionary).
+	SideData map[string][]byte
+	// Logf, if non-nil, receives progress messages.
+	Logf func(format string, args ...any)
+}
+
+// Result is the outcome of a job.
+type Result struct {
+	// Output is the materialized job output.
+	Output Dataset
+	// Counters holds the job's counters.
+	Counters *Counters
+	// Wallclock is the total elapsed time of the job.
+	Wallclock time.Duration
+	// MapTasks and ReduceTasks are the task counts that ran.
+	MapTasks, ReduceTasks int
+}
+
+func (j *Job) withDefaults() *Job {
+	cp := *j
+	if cp.Partition == nil {
+		cp.Partition = DefaultPartitioner
+	}
+	if cp.Compare == nil {
+		cp.Compare = extsort.Compare(compareBytes)
+	}
+	if cp.GroupCompare == nil {
+		cp.GroupCompare = cp.Compare
+	}
+	if cp.NumReducers <= 0 {
+		cp.NumReducers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cp.MapSlots <= 0 {
+		cp.MapSlots = runtime.GOMAXPROCS(0)
+	}
+	if cp.ReduceSlots <= 0 {
+		cp.ReduceSlots = runtime.GOMAXPROCS(0)
+	}
+	if cp.ShuffleMemory <= 0 {
+		cp.ShuffleMemory = 256 << 20
+	}
+	if cp.CombineMemory <= 0 {
+		cp.CombineMemory = 32 << 20
+	}
+	if cp.Sink == nil {
+		cp.Sink = MemSinkFactory()
+	}
+	return &cp
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return len(a) - len(b)
+}
+
+// Run executes the job to completion and returns its result.
+func Run(ctx context.Context, job *Job) (*Result, error) {
+	start := time.Now()
+	j := job.withDefaults()
+	if j.Input == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no input", j.Name)
+	}
+	if j.NewMapper == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no mapper", j.Name)
+	}
+	counters := NewCounters()
+	counters.Add(CounterLaunchedJobs, 1)
+
+	splits, err := j.Input.Splits()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: input splits: %w", j.Name, err)
+	}
+	if j.Logf != nil {
+		j.Logf("job %s: %d map tasks, %d reducers", j.Name, len(splits), j.NumReducers)
+	}
+
+	sink, err := j.Sink(j.NumReducers)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: sink: %w", j.Name, err)
+	}
+
+	res := &Result{Counters: counters, MapTasks: len(splits), ReduceTasks: j.NumReducers}
+
+	if j.NewReducer == nil {
+		if err := runMapOnly(ctx, j, splits, sink, counters); err != nil {
+			return nil, err
+		}
+		res.ReduceTasks = 0
+	} else {
+		if err := runMapReduce(ctx, j, splits, sink, counters); err != nil {
+			return nil, err
+		}
+	}
+
+	out, err := sink.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: finish sink: %w", j.Name, err)
+	}
+	res.Output = out
+	res.Wallclock = time.Since(start)
+	if j.Logf != nil {
+		j.Logf("job %s: done in %v (%d records out)", j.Name, res.Wallclock, out.Records())
+	}
+	return res, nil
+}
+
+// partitionCollector is the shared shuffle buffer for one reduce
+// partition: an external sorter guarded by a mutex, fed by all map
+// tasks.
+type partitionCollector struct {
+	mu     sync.Mutex
+	sorter *extsort.Sorter
+}
+
+func (pc *partitionCollector) add(key, value []byte) error {
+	pc.mu.Lock()
+	err := pc.sorter.Add(key, value)
+	pc.mu.Unlock()
+	return err
+}
+
+func runMapReduce(ctx context.Context, j *Job, splits []Split, sink Sink, counters *Counters) error {
+	// Shared per-partition collectors.
+	parts := make([]*partitionCollector, j.NumReducers)
+	perPartition := j.ShuffleMemory / j.NumReducers
+	if perPartition < 1<<20 {
+		perPartition = 1 << 20
+	}
+	for p := range parts {
+		parts[p] = &partitionCollector{sorter: extsort.NewSorter(extsort.Options{
+			MemoryBudget: perPartition,
+			TempDir:      j.TempDir,
+			Compare:      j.Compare,
+			OnSpill:      func(n int) { counters.Add(CounterSpilledRecords, int64(n)) },
+		})}
+	}
+	releaseParts := func() {
+		for _, pc := range parts {
+			if pc.sorter != nil {
+				pc.sorter.Discard()
+			}
+		}
+	}
+
+	// ---- Map phase ----
+	mapStart := time.Now()
+	if err := runTasks(ctx, len(splits), j.MapSlots, func(ctx context.Context, taskID int) error {
+		return runMapTask(ctx, j, taskID, splits[taskID], parts, counters)
+	}); err != nil {
+		releaseParts()
+		return fmt.Errorf("mapreduce: job %q: map phase: %w", j.Name, err)
+	}
+	counters.Add(CounterMapPhaseMillis, time.Since(mapStart).Milliseconds())
+
+	// ---- Reduce phase ----
+	reduceStart := time.Now()
+	if err := runTasks(ctx, j.NumReducers, j.ReduceSlots, func(ctx context.Context, p int) error {
+		pc := parts[p]
+		sorter := pc.sorter
+		pc.sorter = nil
+		return runReduceTask(ctx, j, p, sorter, sink, counters)
+	}); err != nil {
+		releaseParts()
+		return fmt.Errorf("mapreduce: job %q: reduce phase: %w", j.Name, err)
+	}
+	counters.Add(CounterReducePhaseMillis, time.Since(reduceStart).Milliseconds())
+	return nil
+}
+
+func runMapTask(ctx context.Context, j *Job, taskID int, split Split, parts []*partitionCollector, counters *Counters) error {
+	mapper := j.NewMapper()
+	tc := &TaskContext{
+		JobName: j.Name, TaskID: taskID, Phase: "map", Partition: -1,
+		NumReducers: j.NumReducers, Counters: counters, SideData: j.SideData, TempDir: j.TempDir,
+	}
+	if s, ok := mapper.(TaskSetup); ok {
+		if err := s.Setup(tc); err != nil {
+			return fmt.Errorf("map task %d setup: %w", taskID, err)
+		}
+	}
+
+	var local []*extsort.Sorter // per-partition combiner buffers
+	combine := j.NewCombiner != nil
+	if combine {
+		local = make([]*extsort.Sorter, j.NumReducers)
+		per := j.CombineMemory / j.NumReducers
+		if per < 256<<10 {
+			per = 256 << 10
+		}
+		for p := range local {
+			local[p] = extsort.NewSorter(extsort.Options{
+				MemoryBudget: per,
+				TempDir:      j.TempDir,
+				Compare:      j.Compare,
+				OnSpill:      func(n int) { counters.Add(CounterSpilledRecords, int64(n)) },
+			})
+		}
+	}
+	discardLocal := func() {
+		for _, s := range local {
+			if s != nil {
+				s.Discard()
+			}
+		}
+	}
+
+	emit := Emit(func(key, value []byte) error {
+		counters.Add(CounterMapOutputRecords, 1)
+		counters.Add(CounterMapOutputBytes, int64(len(key)+len(value)))
+		p := j.Partition(key, j.NumReducers)
+		if p < 0 || p >= j.NumReducers {
+			return fmt.Errorf("partitioner returned %d for %d reducers", p, j.NumReducers)
+		}
+		if combine {
+			return local[p].Add(key, value)
+		}
+		counters.Add(CounterReduceShuffleBytes, int64(len(key)+len(value)))
+		return parts[p].add(key, value)
+	})
+
+	var n int64
+	err := split.Records(func(key, value []byte) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n++
+		return mapper.Map(key, value, emit)
+	})
+	counters.Add(CounterMapInputRecords, n)
+	if err != nil {
+		discardLocal()
+		return fmt.Errorf("map task %d: %w", taskID, err)
+	}
+	if c, ok := mapper.(TaskCleanup); ok {
+		if err := c.Cleanup(emit); err != nil {
+			discardLocal()
+			return fmt.Errorf("map task %d cleanup: %w", taskID, err)
+		}
+	}
+
+	if !combine {
+		return nil
+	}
+	// Run the combiner over each partition's sorted local output and
+	// feed the combined records into the shared shuffle.
+	for p, sorter := range local {
+		local[p] = nil
+		if err := combinePartition(ctx, j, taskID, p, sorter, parts[p], counters); err != nil {
+			discardLocal()
+			return fmt.Errorf("map task %d combine partition %d: %w", taskID, p, err)
+		}
+	}
+	return nil
+}
+
+func combinePartition(ctx context.Context, j *Job, taskID, p int, sorter *extsort.Sorter, pc *partitionCollector, counters *Counters) error {
+	combiner := j.NewCombiner()
+	tc := &TaskContext{
+		JobName: j.Name, TaskID: taskID, Phase: "combine", Partition: p,
+		NumReducers: j.NumReducers, Counters: counters, SideData: j.SideData, TempDir: j.TempDir,
+	}
+	if s, ok := combiner.(TaskSetup); ok {
+		if err := s.Setup(tc); err != nil {
+			return err
+		}
+	}
+	it, err := sorter.Sort()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	emit := Emit(func(key, value []byte) error {
+		counters.Add(CounterCombineOutputRecs, 1)
+		counters.Add(CounterReduceShuffleBytes, int64(len(key)+len(value)))
+		return pc.add(key, value)
+	})
+	vals := newValues(it, j.GroupCompare)
+	for vals.nextGroup() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := combiner.Reduce(vals.Key(), vals, emit); err != nil {
+			return err
+		}
+		counters.Add(CounterCombineInputRecs, vals.Count())
+	}
+	if err := vals.Err(); err != nil {
+		return err
+	}
+	if c, ok := combiner.(TaskCleanup); ok {
+		if err := c.Cleanup(emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runReduceTask(ctx context.Context, j *Job, p int, sorter *extsort.Sorter, sink Sink, counters *Counters) error {
+	reducer := j.NewReducer()
+	tc := &TaskContext{
+		JobName: j.Name, TaskID: p, Phase: "reduce", Partition: p,
+		NumReducers: j.NumReducers, Counters: counters, SideData: j.SideData, TempDir: j.TempDir,
+	}
+	if s, ok := reducer.(TaskSetup); ok {
+		if err := s.Setup(tc); err != nil {
+			return fmt.Errorf("reduce task %d setup: %w", p, err)
+		}
+	}
+	w, err := sink.Writer(p)
+	if err != nil {
+		return fmt.Errorf("reduce task %d: sink writer: %w", p, err)
+	}
+	emit := Emit(func(key, value []byte) error {
+		counters.Add(CounterReduceOutputRecs, 1)
+		counters.Add(CounterReduceOutputBytes, int64(len(key)+len(value)))
+		return w.Write(key, value)
+	})
+	it, err := sorter.Sort()
+	if err != nil {
+		w.Close()
+		return fmt.Errorf("reduce task %d: sort: %w", p, err)
+	}
+	defer it.Close()
+
+	vals := newValues(it, j.GroupCompare)
+	for vals.nextGroup() {
+		if err := ctx.Err(); err != nil {
+			w.Close()
+			return err
+		}
+		counters.Add(CounterReduceInputGroups, 1)
+		if err := reducer.Reduce(vals.Key(), vals, emit); err != nil {
+			w.Close()
+			return fmt.Errorf("reduce task %d: %w", p, err)
+		}
+		counters.Add(CounterReduceInputRecords, vals.Count())
+	}
+	if err := vals.Err(); err != nil {
+		w.Close()
+		return fmt.Errorf("reduce task %d: merge: %w", p, err)
+	}
+	if c, ok := reducer.(TaskCleanup); ok {
+		if err := c.Cleanup(emit); err != nil {
+			w.Close()
+			return fmt.Errorf("reduce task %d cleanup: %w", p, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return fmt.Errorf("reduce task %d: close sink: %w", p, err)
+	}
+	return nil
+}
+
+func runMapOnly(ctx context.Context, j *Job, splits []Split, sink Sink, counters *Counters) error {
+	// Map-only jobs write each task's output to a per-task writer on the
+	// task's own partition index modulo R, preserving partitioning
+	// without a shuffle.
+	return runTasks(ctx, len(splits), j.MapSlots, func(ctx context.Context, taskID int) error {
+		mapper := j.NewMapper()
+		tc := &TaskContext{
+			JobName: j.Name, TaskID: taskID, Phase: "map", Partition: -1,
+			NumReducers: j.NumReducers, Counters: counters, SideData: j.SideData, TempDir: j.TempDir,
+		}
+		if s, ok := mapper.(TaskSetup); ok {
+			if err := s.Setup(tc); err != nil {
+				return fmt.Errorf("map task %d setup: %w", taskID, err)
+			}
+		}
+		w, err := sink.Writer(taskID % j.NumReducers)
+		if err != nil {
+			return fmt.Errorf("map task %d: sink writer: %w", taskID, err)
+		}
+		emit := Emit(func(key, value []byte) error {
+			counters.Add(CounterMapOutputRecords, 1)
+			counters.Add(CounterMapOutputBytes, int64(len(key)+len(value)))
+			return w.Write(key, value)
+		})
+		var n int64
+		err = splits[taskID].Records(func(key, value []byte) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			n++
+			return mapper.Map(key, value, emit)
+		})
+		counters.Add(CounterMapInputRecords, n)
+		if err != nil {
+			w.Close()
+			return fmt.Errorf("map task %d: %w", taskID, err)
+		}
+		if c, ok := mapper.(TaskCleanup); ok {
+			if err := c.Cleanup(emit); err != nil {
+				w.Close()
+				return fmt.Errorf("map task %d cleanup: %w", taskID, err)
+			}
+		}
+		return w.Close()
+	})
+}
+
+// runTasks executes n tasks with at most slots running concurrently,
+// returning the first error. A panicking task is converted into an
+// error carrying its stack.
+func runTasks(ctx context.Context, n, slots int, task func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if slots > n {
+		slots = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	sem := make(chan struct{}, slots)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("task %d panicked: %v\n%s", i, r, debug.Stack()))
+				}
+			}()
+			if err := task(ctx, i); err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Driver runs a sequence of jobs and aggregates their counters, the way
+// the paper reports measures (b) and (c) as "aggregates over all Hadoop
+// jobs launched" for the multi-job APRIORI methods.
+type Driver struct {
+	// Aggregate accumulates the counters of every job run through the
+	// driver.
+	Aggregate *Counters
+	// JobResults records per-job results in execution order.
+	JobResults []*Result
+	// Logf, if non-nil, receives progress messages and is passed to jobs
+	// without one.
+	Logf func(format string, args ...any)
+}
+
+// NewDriver returns an empty driver.
+func NewDriver() *Driver {
+	return &Driver{Aggregate: NewCounters()}
+}
+
+// Run executes the job and folds its counters into the aggregate.
+func (d *Driver) Run(ctx context.Context, job *Job) (*Result, error) {
+	if job.Logf == nil {
+		job.Logf = d.Logf
+	}
+	res, err := Run(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	d.Aggregate.Merge(res.Counters)
+	d.JobResults = append(d.JobResults, res)
+	return res, nil
+}
+
+// Wallclock returns the summed wallclock time of all jobs run so far.
+func (d *Driver) Wallclock() time.Duration {
+	var total time.Duration
+	for _, r := range d.JobResults {
+		total += r.Wallclock
+	}
+	return total
+}

@@ -1,0 +1,68 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// JobSummary is a compact per-job account of a run, in the style of the
+// Hadoop job history a practitioner would read after a workflow.
+type JobSummary struct {
+	Name          string
+	MapTasks      int
+	ReduceTasks   int
+	InputRecords  int64
+	MapOutRecords int64
+	MapOutBytes   int64
+	ShuffleBytes  int64
+	OutputRecords int64
+	Spilled       int64
+	MapPhase      time.Duration
+	ReducePhase   time.Duration
+	Wallclock     time.Duration
+}
+
+// Summary extracts the per-job account from a Result.
+func Summary(name string, r *Result) JobSummary {
+	c := r.Counters
+	return JobSummary{
+		Name:          name,
+		MapTasks:      r.MapTasks,
+		ReduceTasks:   r.ReduceTasks,
+		InputRecords:  c.Get(CounterMapInputRecords),
+		MapOutRecords: c.Get(CounterMapOutputRecords),
+		MapOutBytes:   c.Get(CounterMapOutputBytes),
+		ShuffleBytes:  c.Get(CounterReduceShuffleBytes),
+		OutputRecords: c.Get(CounterReduceOutputRecs),
+		Spilled:       c.Get(CounterSpilledRecords),
+		MapPhase:      time.Duration(c.Get(CounterMapPhaseMillis)) * time.Millisecond,
+		ReducePhase:   time.Duration(c.Get(CounterReducePhaseMillis)) * time.Millisecond,
+		Wallclock:     r.Wallclock,
+	}
+}
+
+// Report renders a table of all jobs run through the driver, one line
+// per job plus an aggregate line.
+func (d *Driver) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %5s %5s %12s %12s %12s %12s %10s\n",
+		"job", "maps", "reds", "in-recs", "map-out", "shuffle-B", "out-recs", "wallclock")
+	var totalWall time.Duration
+	var totIn, totOut, totMapOut, totShuffle int64
+	for i, r := range d.JobResults {
+		s := Summary(fmt.Sprintf("#%d", i+1), r)
+		fmt.Fprintf(&sb, "%-28s %5d %5d %12d %12d %12d %12d %10s\n",
+			s.Name, s.MapTasks, s.ReduceTasks, s.InputRecords, s.MapOutRecords,
+			s.ShuffleBytes, s.OutputRecords, s.Wallclock.Round(time.Millisecond))
+		totalWall += s.Wallclock
+		totIn += s.InputRecords
+		totOut += s.OutputRecords
+		totMapOut += s.MapOutRecords
+		totShuffle += s.ShuffleBytes
+	}
+	fmt.Fprintf(&sb, "%-28s %5s %5s %12d %12d %12d %12d %10s\n",
+		"TOTAL", "", "", totIn, totMapOut, totShuffle, totOut,
+		totalWall.Round(time.Millisecond))
+	return sb.String()
+}

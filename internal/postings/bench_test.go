@@ -1,0 +1,58 @@
+package postings
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchList(docs, posPerDoc int, seed int64) List {
+	rng := rand.New(rand.NewSource(seed))
+	var l List
+	doc := int64(0)
+	for d := 0; d < docs; d++ {
+		doc += 1 + int64(rng.Intn(5))
+		pos := make([]uint32, 0, posPerDoc)
+		p := uint32(0)
+		for i := 0; i < posPerDoc; i++ {
+			p += 1 + uint32(rng.Intn(20))
+			pos = append(pos, p)
+		}
+		l = append(l, Posting{DocID: doc, Positions: pos})
+	}
+	return l
+}
+
+// BenchmarkJoin measures the adjacency join at the heart of
+// APRIORI-INDEX's candidate generation.
+func BenchmarkJoin(b *testing.B) {
+	m := benchList(1000, 4, 1)
+	n := benchList(1000, 4, 1) // same doc layout → real intersection work
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Join(m, n)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	l := benchList(1000, 4, 2)
+	enc := Encode(l)
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Encode(l)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Decode(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encodedCF", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := EncodedCF(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

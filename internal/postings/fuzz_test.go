@@ -1,0 +1,32 @@
+package postings
+
+import "testing"
+
+// FuzzDecode: arbitrary bytes either decode to a list whose re-encoding
+// round-trips, or are rejected — never a panic or a hang.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(List{{DocID: 3, Positions: []uint32{1, 4}}}))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x02, 0x01, 0x01, 0x05})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := Decode(data)
+		if err != nil {
+			return
+		}
+		cf, err := EncodedCF(data)
+		if err != nil {
+			t.Fatalf("EncodedCF failed on decodable input: %v", err)
+		}
+		if cf != l.CF() {
+			t.Fatalf("EncodedCF = %d, CF = %d", cf, l.CF())
+		}
+		re := Encode(l)
+		l2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encode failed to decode: %v", err)
+		}
+		if l2.CF() != l.CF() || l2.DF() != l.DF() {
+			t.Fatalf("round trip changed stats")
+		}
+	})
+}

@@ -1,0 +1,249 @@
+// Package postings implements positional posting lists — the payload of
+// the inverted index that APRIORI-INDEX builds (Algorithm 3). A posting
+// records the positions at which one n-gram occurs in one document; a
+// posting list collects the postings of an n-gram over the collection.
+//
+// Lists are kept in a compact varint encoding: document identifiers are
+// delta-encoded across postings and positions are delta-encoded within a
+// posting, following the compression advice of Section V.
+package postings
+
+import (
+	"fmt"
+	"sort"
+
+	"ngramstats/internal/encoding"
+)
+
+// Posting is the set of positions at which an n-gram occurs in one
+// document. Positions are strictly increasing.
+type Posting struct {
+	DocID     int64
+	Positions []uint32
+}
+
+// List is an n-gram's posting list, ordered by document identifier.
+type List []Posting
+
+// CF returns the collection frequency represented by the list: the
+// total number of occurrences across all documents.
+func (l List) CF() int64 {
+	var n int64
+	for _, p := range l {
+		n += int64(len(p.Positions))
+	}
+	return n
+}
+
+// DF returns the document frequency: the number of documents with at
+// least one occurrence.
+func (l List) DF() int64 { return int64(len(l)) }
+
+// Validate checks the structural invariants: documents strictly
+// increasing, positions strictly increasing and non-empty.
+func (l List) Validate() error {
+	for i, p := range l {
+		if i > 0 && l[i-1].DocID >= p.DocID {
+			return fmt.Errorf("postings: docIDs not strictly increasing at %d", i)
+		}
+		if len(p.Positions) == 0 {
+			return fmt.Errorf("postings: empty posting for doc %d", p.DocID)
+		}
+		for j := 1; j < len(p.Positions); j++ {
+			if p.Positions[j-1] >= p.Positions[j] {
+				return fmt.Errorf("postings: positions not strictly increasing in doc %d", p.DocID)
+			}
+		}
+	}
+	return nil
+}
+
+// Join computes the posting list of the (k)-gram m‖⟨last term of n⟩
+// from the lists of two overlapping (k−1)-grams: an occurrence of the
+// joined n-gram at position p requires m at p and n at p+1
+// (Algorithm 3, Reducer #2). Both lists must be sorted by document.
+func Join(m, n List) List {
+	var out List
+	i, j := 0, 0
+	for i < len(m) && j < len(n) {
+		switch {
+		case m[i].DocID < n[j].DocID:
+			i++
+		case m[i].DocID > n[j].DocID:
+			j++
+		default:
+			pos := joinPositions(m[i].Positions, n[j].Positions)
+			if len(pos) > 0 {
+				out = append(out, Posting{DocID: m[i].DocID, Positions: pos})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// joinPositions returns every p in a with p+1 in b.
+func joinPositions(a, b []uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i]+1 < b[j]:
+			i++
+		case a[i]+1 > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Merge combines posting lists of the same n-gram from different
+// reducers/documents into one list ordered by document. Positions of
+// postings sharing a document are unioned (they are expected to be
+// disjoint but equal positions are kept once).
+func Merge(lists ...List) List {
+	var all List
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].DocID < all[j].DocID })
+	var out List
+	for _, p := range all {
+		if len(out) > 0 && out[len(out)-1].DocID == p.DocID {
+			last := &out[len(out)-1]
+			last.Positions = unionPositions(last.Positions, p.Positions)
+			continue
+		}
+		out = append(out, Posting{DocID: p.DocID, Positions: append([]uint32(nil), p.Positions...)})
+	}
+	return out
+}
+
+func unionPositions(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Encode serializes the list:
+// uvarint(#postings) then per posting uvarint(docID delta),
+// uvarint(#positions), uvarint(position deltas…). The first document
+// delta is taken from 0 and the first position delta is the position
+// itself; subsequent deltas are plain differences.
+func Encode(l List) []byte {
+	buf := encoding.AppendUvarint(nil, uint64(len(l)))
+	var prevDoc int64
+	for _, p := range l {
+		buf = encoding.AppendUvarint(buf, uint64(p.DocID-prevDoc))
+		prevDoc = p.DocID
+		buf = encoding.AppendUvarint(buf, uint64(len(p.Positions)))
+		var prevPos uint32
+		for i, pos := range p.Positions {
+			if i == 0 {
+				buf = encoding.AppendUvarint(buf, uint64(pos))
+			} else {
+				buf = encoding.AppendUvarint(buf, uint64(pos-prevPos))
+			}
+			prevPos = pos
+		}
+	}
+	return buf
+}
+
+// Decode deserializes a list produced by Encode.
+func Decode(b []byte) (List, error) {
+	nPostings, n := encoding.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("postings: %w: posting count", encoding.ErrCorrupt)
+	}
+	b = b[n:]
+	out := make(List, 0, nPostings)
+	var prevDoc int64
+	for k := uint64(0); k < nPostings; k++ {
+		delta, n := encoding.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("postings: %w: doc delta", encoding.ErrCorrupt)
+		}
+		b = b[n:]
+		doc := prevDoc + int64(delta)
+		prevDoc = doc
+		nPos, n := encoding.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("postings: %w: position count", encoding.ErrCorrupt)
+		}
+		b = b[n:]
+		pos := make([]uint32, nPos)
+		var prev uint32
+		for i := range pos {
+			d, n := encoding.Uvarint(b)
+			if n <= 0 {
+				return nil, fmt.Errorf("postings: %w: position delta", encoding.ErrCorrupt)
+			}
+			b = b[n:]
+			if i == 0 {
+				prev = uint32(d)
+			} else {
+				prev += uint32(d)
+			}
+			pos[i] = prev
+		}
+		out = append(out, Posting{DocID: doc, Positions: pos})
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("postings: %w: %d trailing bytes", encoding.ErrCorrupt, len(b))
+	}
+	return out, nil
+}
+
+// EncodedCF returns the collection frequency of an encoded list without
+// fully materializing it.
+func EncodedCF(b []byte) (int64, error) {
+	nPostings, n := encoding.Uvarint(b)
+	if n <= 0 {
+		return 0, fmt.Errorf("postings: %w: posting count", encoding.ErrCorrupt)
+	}
+	b = b[n:]
+	var cf int64
+	for k := uint64(0); k < nPostings; k++ {
+		_, n := encoding.Uvarint(b) // doc delta
+		if n <= 0 {
+			return 0, fmt.Errorf("postings: %w: doc delta", encoding.ErrCorrupt)
+		}
+		b = b[n:]
+		nPos, n := encoding.Uvarint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("postings: %w: position count", encoding.ErrCorrupt)
+		}
+		b = b[n:]
+		cf += int64(nPos)
+		for i := uint64(0); i < nPos; i++ {
+			_, n := encoding.Uvarint(b)
+			if n <= 0 {
+				return 0, fmt.Errorf("postings: %w: position delta", encoding.ErrCorrupt)
+			}
+			b = b[n:]
+		}
+	}
+	return cf, nil
+}

@@ -1,0 +1,226 @@
+// Package sequence implements the data model of Berberich & Bedathur
+// (EDBT 2013): sequences of terms drawn from a vocabulary, together with
+// the order relations (prefix, suffix, subsequence), occurrence counting,
+// and the reverse lexicographic order that SUFFIX-σ relies on.
+//
+// Terms are represented as uint32 identifiers. The dictionary package
+// assigns identifiers in descending order of collection frequency, so
+// frequent terms have small identifiers and varint-encode compactly.
+package sequence
+
+// Term is a term identifier. Identifiers are assigned by the dictionary
+// in descending order of collection frequency.
+type Term = uint32
+
+// Seq is a sequence of terms, the s = ⟨s0, …, sn−1⟩ of the paper.
+type Seq []Term
+
+// Equal reports whether r and s contain the same terms in the same order.
+func Equal(r, s Seq) bool {
+	if len(r) != len(s) {
+		return false
+	}
+	for i := range r {
+		if r[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of s that shares no storage with it.
+func Clone(s Seq) Seq {
+	if s == nil {
+		return nil
+	}
+	c := make(Seq, len(s))
+	copy(c, s)
+	return c
+}
+
+// Concat returns the concatenation r‖s as a fresh sequence.
+func Concat(r, s Seq) Seq {
+	c := make(Seq, 0, len(r)+len(s))
+	c = append(c, r...)
+	c = append(c, s...)
+	return c
+}
+
+// IsPrefix reports whether r is a prefix of s (r ⊴ s in the paper):
+// ∀ 0 ≤ i < |r| : r[i] = s[i]. The empty sequence is a prefix of every
+// sequence.
+func IsPrefix(r, s Seq) bool {
+	if len(r) > len(s) {
+		return false
+	}
+	for i := range r {
+		if r[i] != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSuffix reports whether r is a suffix of s (r ⊵ s in the paper):
+// ∀ 0 ≤ i < |r| : r[i] = s[|s|−|r|+i].
+func IsSuffix(r, s Seq) bool {
+	if len(r) > len(s) {
+		return false
+	}
+	off := len(s) - len(r)
+	for i := range r {
+		if r[i] != s[off+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubsequence reports whether r occurs contiguously in s (r ⊑ s):
+// ∃ 0 ≤ j : ∀ 0 ≤ i < |r| : r[i] = s[i+j]. Because the paper considers
+// only contiguous sequences, this is substring containment.
+func IsSubsequence(r, s Seq) bool {
+	if len(r) == 0 {
+		return true
+	}
+	if len(r) > len(s) {
+		return false
+	}
+	for j := 0; j+len(r) <= len(s); j++ {
+		match := true
+		for i := range r {
+			if r[i] != s[j+i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// Occurrences counts how often r occurs in s, the f(r, s) of the paper:
+// the number of offsets j such that r matches s at j. Overlapping
+// occurrences all count. Occurrences of the empty sequence are defined
+// as 0 to match f's index set {0 ≤ j < |s|} being empty-intersected.
+func Occurrences(r, s Seq) int64 {
+	if len(r) == 0 || len(r) > len(s) {
+		return 0
+	}
+	var n int64
+	for j := 0; j+len(r) <= len(s); j++ {
+		match := true
+		for i := range r {
+			if r[i] != s[j+i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare orders sequences in standard lexicographic order: term by
+// term by identifier, shorter prefixes first. It returns a negative
+// number if r sorts before s, zero if they are equal, and a positive
+// number otherwise.
+func Compare(r, s Seq) int {
+	n := len(r)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case r[i] < s[i]:
+			return -1
+		case r[i] > s[i]:
+			return 1
+		}
+	}
+	return len(r) - len(s)
+}
+
+// CompareReverseLex orders sequences in the reverse lexicographic order
+// of the paper (Section IV):
+//
+//	r < s ⇔ (|r| > |s| ∧ s ⊴ r) ∨
+//	        ∃ 0 ≤ i < min(|r|,|s|) : r[i] > s[i] ∧ ∀ 0 ≤ j < i : r[j] = s[j]
+//
+// i.e. terms compare in descending identifier order and, among sequences
+// where one is a prefix of the other, the longer sorts first. SUFFIX-σ
+// sorts reducer input in this order so that an n-gram can be emitted as
+// soon as no yet-unseen suffix can represent it.
+//
+// It returns a negative number if r sorts before s, zero if they are
+// equal, and a positive number otherwise.
+func CompareReverseLex(r, s Seq) int {
+	n := len(r)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case r[i] > s[i]:
+			return -1
+		case r[i] < s[i]:
+			return 1
+		}
+	}
+	// Equal on the common prefix: the longer sequence sorts first.
+	return len(s) - len(r)
+}
+
+// LCP returns the length of the longest common prefix of r and s.
+func LCP(r, s Seq) int {
+	n := len(r)
+	if len(s) < n {
+		n = len(s)
+	}
+	i := 0
+	for i < n && r[i] == s[i] {
+		i++
+	}
+	return i
+}
+
+// Reverse returns a fresh sequence with the terms of s in reverse order.
+// The maximality/closedness post-filtering job operates on reversed
+// n-grams (Section VI-A).
+func Reverse(s Seq) Seq {
+	c := make(Seq, len(s))
+	for i, t := range s {
+		c[len(s)-1-i] = t
+	}
+	return c
+}
+
+// SuffixTruncated returns the suffix of s starting at b, truncated to at
+// most sigma terms: s[b..min(b+σ−1, |s|−1)]. The result aliases s.
+func SuffixTruncated(s Seq, b, sigma int) Seq {
+	e := b + sigma
+	if e > len(s) {
+		e = len(s)
+	}
+	return s[b:e]
+}
+
+// NGrams calls fn for every n-gram of s with length at most sigma, in
+// the enumeration order of the NAÏVE mapper (Algorithm 1): for every
+// begin offset b, every end offset e up to b+σ−1. The slice passed to fn
+// aliases s and must not be retained.
+func NGrams(s Seq, sigma int, fn func(g Seq)) {
+	for b := 0; b < len(s); b++ {
+		max := b + sigma
+		if max > len(s) {
+			max = len(s)
+		}
+		for e := b + 1; e <= max; e++ {
+			fn(s[b:e])
+		}
+	}
+}

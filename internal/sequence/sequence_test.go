@@ -1,0 +1,375 @@
+package sequence
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func seq(terms ...Term) Seq { return Seq(terms) }
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		r, s Seq
+		want bool
+	}{
+		{nil, nil, true},
+		{seq(), nil, true},
+		{seq(1), nil, false},
+		{seq(1, 2), seq(1, 2), true},
+		{seq(1, 2), seq(2, 1), false},
+		{seq(1, 2), seq(1, 2, 3), false},
+	}
+	for _, c := range cases {
+		if got := Equal(c.r, c.s); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.r, c.s, got, c.want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := seq(1, 2, 3)
+	c := Clone(s)
+	c[0] = 99
+	if s[0] != 1 {
+		t.Fatalf("Clone shares storage with source")
+	}
+	if Clone(nil) != nil {
+		t.Fatalf("Clone(nil) should be nil")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Concat(seq(1, 2), seq(3))
+	if !Equal(got, seq(1, 2, 3)) {
+		t.Fatalf("Concat = %v", got)
+	}
+	if got := Concat(nil, nil); len(got) != 0 {
+		t.Fatalf("Concat(nil,nil) = %v", got)
+	}
+}
+
+func TestIsPrefix(t *testing.T) {
+	cases := []struct {
+		r, s Seq
+		want bool
+	}{
+		{nil, seq(1, 2), true},
+		{seq(1), seq(1, 2), true},
+		{seq(1, 2), seq(1, 2), true},
+		{seq(2), seq(1, 2), false},
+		{seq(1, 2, 3), seq(1, 2), false},
+	}
+	for _, c := range cases {
+		if got := IsPrefix(c.r, c.s); got != c.want {
+			t.Errorf("IsPrefix(%v, %v) = %v, want %v", c.r, c.s, got, c.want)
+		}
+	}
+}
+
+func TestIsSuffix(t *testing.T) {
+	cases := []struct {
+		r, s Seq
+		want bool
+	}{
+		{nil, seq(1, 2), true},
+		{seq(2), seq(1, 2), true},
+		{seq(1, 2), seq(1, 2), true},
+		{seq(1), seq(1, 2), false},
+		{seq(0, 1, 2), seq(1, 2), false},
+	}
+	for _, c := range cases {
+		if got := IsSuffix(c.r, c.s); got != c.want {
+			t.Errorf("IsSuffix(%v, %v) = %v, want %v", c.r, c.s, got, c.want)
+		}
+	}
+}
+
+func TestIsSubsequence(t *testing.T) {
+	s := seq(1, 2, 3, 2, 1)
+	for _, c := range []struct {
+		r    Seq
+		want bool
+	}{
+		{nil, true},
+		{seq(2, 3), true},
+		{seq(3, 2, 1), true},
+		{seq(1, 2, 3, 2, 1), true},
+		{seq(1, 3), false},
+		{seq(1, 2, 3, 2, 1, 0), false},
+	} {
+		if got := IsSubsequence(c.r, s); got != c.want {
+			t.Errorf("IsSubsequence(%v, %v) = %v, want %v", c.r, s, got, c.want)
+		}
+	}
+}
+
+// TestOccurrencesRunningExample checks f(r, s) on the paper's running
+// example: d1 = ⟨a x b x x⟩ with a=2, x=0, b=1 (ids by descending cf).
+func TestOccurrencesRunningExample(t *testing.T) {
+	const (
+		x Term = 0
+		b Term = 1
+		a Term = 2
+	)
+	d1 := seq(a, x, b, x, x)
+	d2 := seq(b, a, x, b, x)
+	d3 := seq(x, b, a, x, b)
+	docs := []Seq{d1, d2, d3}
+
+	cf := func(r Seq) int64 {
+		var n int64
+		for _, d := range docs {
+			n += Occurrences(r, d)
+		}
+		return n
+	}
+
+	for _, c := range []struct {
+		r    Seq
+		want int64
+	}{
+		{seq(a), 3},
+		{seq(b), 5},
+		{seq(x), 7},
+		{seq(a, x), 3},
+		{seq(x, b), 4},
+		{seq(a, x, b), 3},
+		{seq(x, x), 1},
+		{seq(b, x, x), 1},
+	} {
+		if got := cf(c.r); got != c.want {
+			t.Errorf("cf(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestOccurrencesOverlapping(t *testing.T) {
+	s := seq(1, 1, 1, 1)
+	if got := Occurrences(seq(1, 1), s); got != 3 {
+		t.Fatalf("overlapping occurrences = %d, want 3", got)
+	}
+	if got := Occurrences(nil, s); got != 0 {
+		t.Fatalf("empty needle occurrences = %d, want 0", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		r, s Seq
+		want int
+	}{
+		{seq(1), seq(2), -1},
+		{seq(2), seq(1), 1},
+		{seq(1), seq(1), 0},
+		{seq(1), seq(1, 2), -1},
+		{seq(1, 2), seq(1), 1},
+		{nil, nil, 0},
+		{nil, seq(1), -1},
+	}
+	for _, c := range cases {
+		got := Compare(c.r, c.s)
+		if sign(got) != sign(c.want) {
+			t.Errorf("Compare(%v, %v) = %d, want sign %d", c.r, c.s, got, c.want)
+		}
+	}
+}
+
+// TestCompareReverseLexPaperExample checks the order in which the
+// reducer responsible for b-suffixes receives its input in Section IV:
+// ⟨b x x⟩, ⟨b x⟩, ⟨b a x⟩, ⟨b⟩ with term ids x=0 < b=1 < a=2 and term
+// order descending by *collection frequency*, i.e. the paper's
+// alphabetical example maps to descending id comparison being reversed.
+func TestCompareReverseLexPaperExample(t *testing.T) {
+	// In the paper, terms sort descending: x > b > a alphabetically
+	// reversed... the concrete term order is irrelevant as long as it is
+	// fixed; here ids are x=0, b=1, a=2 and CompareReverseLex sorts by
+	// descending id, so a > b > x. The expected stream for the reducer
+	// of first term b is then ⟨b a x⟩, ⟨b x x⟩, ⟨b x⟩, ⟨b⟩.
+	const (
+		x Term = 0
+		b Term = 1
+		a Term = 2
+	)
+	in := []Seq{
+		seq(b, x, x),
+		seq(b, x),
+		seq(b, a, x),
+		seq(b),
+	}
+	sort.Slice(in, func(i, j int) bool {
+		return CompareReverseLex(in[i], in[j]) < 0
+	})
+	want := []Seq{
+		seq(b, a, x),
+		seq(b, x, x),
+		seq(b, x),
+		seq(b),
+	}
+	for i := range want {
+		if !Equal(in[i], want[i]) {
+			t.Fatalf("position %d: got %v, want %v (full: %v)", i, in[i], want[i], in)
+		}
+	}
+}
+
+// TestCompareReverseLexPrefixExtensionFirst checks the defining property:
+// if s is a proper prefix of r, then r sorts strictly before s.
+func TestCompareReverseLexPrefixExtensionFirst(t *testing.T) {
+	r := seq(5, 3, 1)
+	s := seq(5, 3)
+	if CompareReverseLex(r, s) >= 0 {
+		t.Fatalf("extension %v should sort before prefix %v", r, s)
+	}
+	if CompareReverseLex(s, r) <= 0 {
+		t.Fatalf("prefix %v should sort after extension %v", s, r)
+	}
+}
+
+// TestCompareReverseLexTotalOrder uses testing/quick to verify
+// antisymmetry and transitivity of the reverse lexicographic order on
+// random small sequences.
+func TestCompareReverseLexTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func() Seq {
+		n := rng.Intn(5)
+		s := make(Seq, n)
+		for i := range s {
+			s[i] = Term(rng.Intn(4))
+		}
+		return s
+	}
+	f := func() bool {
+		a, b, c := gen(), gen(), gen()
+		// Antisymmetry.
+		if sign(CompareReverseLex(a, b)) != -sign(CompareReverseLex(b, a)) {
+			return false
+		}
+		// Reflexivity via equality.
+		if (CompareReverseLex(a, b) == 0) != Equal(a, b) {
+			return false
+		}
+		// Transitivity.
+		if CompareReverseLex(a, b) <= 0 && CompareReverseLex(b, c) <= 0 {
+			return CompareReverseLex(a, c) <= 0
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 5000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReverseLexEmitSafety checks the property SUFFIX-σ relies on: once
+// the current suffix s has been reached in reverse lexicographic order,
+// any n-gram r with r < s cannot be a prefix of any later suffix u ≥ s.
+func TestReverseLexEmitSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gen := func() Seq {
+		n := 1 + rng.Intn(4)
+		s := make(Seq, n)
+		for i := range s {
+			s[i] = Term(rng.Intn(3))
+		}
+		return s
+	}
+	for i := 0; i < 20000; i++ {
+		r, s, u := gen(), gen(), gen()
+		if CompareReverseLex(r, s) < 0 && CompareReverseLex(s, u) <= 0 {
+			// u cannot have r as a proper prefix unless r == u.
+			if IsPrefix(r, u) && !Equal(r, u) {
+				t.Fatalf("violation: r=%v < s=%v <= u=%v but r is a prefix of u", r, s, u)
+			}
+		}
+	}
+}
+
+func TestLCP(t *testing.T) {
+	cases := []struct {
+		r, s Seq
+		want int
+	}{
+		{nil, nil, 0},
+		{seq(1, 2, 3), seq(1, 2, 4), 2},
+		{seq(1, 2), seq(1, 2, 3), 2},
+		{seq(5), seq(6), 0},
+	}
+	for _, c := range cases {
+		if got := LCP(c.r, c.s); got != c.want {
+			t.Errorf("LCP(%v, %v) = %d, want %d", c.r, c.s, got, c.want)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	if got := Reverse(seq(1, 2, 3)); !Equal(got, seq(3, 2, 1)) {
+		t.Fatalf("Reverse = %v", got)
+	}
+	s := seq(1, 2)
+	_ = Reverse(s)
+	if !Equal(s, seq(1, 2)) {
+		t.Fatalf("Reverse mutated its argument")
+	}
+}
+
+func TestSuffixTruncated(t *testing.T) {
+	s := seq(10, 11, 12, 13, 14)
+	if got := SuffixTruncated(s, 1, 2); !Equal(got, seq(11, 12)) {
+		t.Fatalf("SuffixTruncated = %v", got)
+	}
+	if got := SuffixTruncated(s, 3, 10); !Equal(got, seq(13, 14)) {
+		t.Fatalf("SuffixTruncated near end = %v", got)
+	}
+}
+
+func TestNGramsEnumeration(t *testing.T) {
+	s := seq(1, 2, 3)
+	var got []Seq
+	NGrams(s, 2, func(g Seq) { got = append(got, Clone(g)) })
+	want := []Seq{seq(1), seq(1, 2), seq(2), seq(2, 3), seq(3)}
+	if len(got) != len(want) {
+		t.Fatalf("NGrams count = %d, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if !Equal(got[i], want[i]) {
+			t.Fatalf("NGrams[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNGramsCountFormula checks that the number of n-grams of a document
+// of length L with maximum length σ matches the closed form
+// Σ_{b} min(σ, L−b).
+func TestNGramsCountFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		l := rng.Intn(12)
+		sigma := 1 + rng.Intn(6)
+		s := make(Seq, l)
+		n := 0
+		NGrams(s, sigma, func(Seq) { n++ })
+		want := 0
+		for b := 0; b < l; b++ {
+			m := l - b
+			if sigma < m {
+				m = sigma
+			}
+			want += m
+		}
+		if n != want {
+			t.Fatalf("L=%d σ=%d: NGrams emitted %d, want %d", l, sigma, n, want)
+		}
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,335 @@
+// Package stats provides the measurement side of the evaluation
+// (Section VII): the 2-dimensional exponential-width bucketing of
+// output characteristics (Figure 2), per-run measurement records with
+// the paper's three measures (wallclock time, bytes transferred,
+// records transferred), and text renderers that print tables and series
+// shaped like the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Bucket2D histograms n-grams into buckets of exponential width: an
+// n-gram s with collection frequency cf(s) goes into bucket (i, j) with
+// i = ⌊log10 |s|⌋ and j = ⌊log10 cf(s)⌋, exactly as in Figure 2.
+type Bucket2D struct {
+	counts map[[2]int]int64
+	maxI   int
+	maxJ   int
+	total  int64
+}
+
+// NewBucket2D returns an empty histogram.
+func NewBucket2D() *Bucket2D {
+	return &Bucket2D{counts: make(map[[2]int]int64)}
+}
+
+// Add records one n-gram with the given length and collection
+// frequency.
+func (b *Bucket2D) Add(length int, cf int64) {
+	if length < 1 || cf < 1 {
+		return
+	}
+	i := int(math.Log10(float64(length)))
+	j := int(math.Log10(float64(cf)))
+	b.counts[[2]int{i, j}]++
+	if i > b.maxI {
+		b.maxI = i
+	}
+	if j > b.maxJ {
+		b.maxJ = j
+	}
+	b.total++
+}
+
+// Count returns the number of n-grams in bucket (i, j).
+func (b *Bucket2D) Count(i, j int) int64 { return b.counts[[2]int{i, j}] }
+
+// Total returns the number of n-grams added.
+func (b *Bucket2D) Total() int64 { return b.total }
+
+// MaxLengthBucket returns the largest populated length bucket index.
+func (b *Bucket2D) MaxLengthBucket() int { return b.maxI }
+
+// MaxFrequencyBucket returns the largest populated frequency bucket
+// index.
+func (b *Bucket2D) MaxFrequencyBucket() int { return b.maxJ }
+
+// String renders the histogram as a matrix with length buckets as
+// columns (10^x) and collection-frequency buckets as rows (10^y),
+// mirroring the axes of Figure 2.
+func (b *Bucket2D) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-22s", "cf \\ length (10^x)")
+	for i := 0; i <= b.maxI; i++ {
+		fmt.Fprintf(&sb, "%12d", i)
+	}
+	sb.WriteByte('\n')
+	for j := b.maxJ; j >= 0; j-- {
+		fmt.Fprintf(&sb, "10^%-19d", j)
+		for i := 0; i <= b.maxI; i++ {
+			c := b.Count(i, j)
+			if c == 0 {
+				fmt.Fprintf(&sb, "%12s", ".")
+			} else {
+				fmt.Fprintf(&sb, "%12d", c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Measurement is one experimental data point: a (method, dataset,
+// parameters) combination with the paper's three measures.
+type Measurement struct {
+	// Dataset names the corpus ("NYT", "CW", "NYT-50%", …).
+	Dataset string
+	// Method names the algorithm.
+	Method string
+	// Tau and Sigma are the run parameters.
+	Tau   int64
+	Sigma int
+	// Slots is the map/reduce slot count (Figure 7 sweeps it).
+	Slots int
+	// Fraction is the dataset fraction in percent (Figure 6 sweeps it).
+	Fraction int
+	// Wallclock is measure (a).
+	Wallclock time.Duration
+	// Bytes is measure (b): MAP_OUTPUT_BYTES over all jobs.
+	Bytes int64
+	// Records is measure (c): MAP_OUTPUT_RECORDS over all jobs.
+	Records int64
+	// Jobs is the number of MapReduce jobs launched.
+	Jobs int
+	// Output is the number of n-grams produced.
+	Output int64
+}
+
+// Table collects measurements and renders them grouped the way the
+// paper's figures are read: one row per sweep value, one column per
+// method.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	// SweepLabel names the varied parameter (e.g. "tau", "sigma").
+	SweepLabel string
+	rows       []Measurement
+}
+
+// NewTable returns an empty measurement table.
+func NewTable(title, sweepLabel string) *Table {
+	return &Table{Title: title, SweepLabel: sweepLabel}
+}
+
+// Add appends a measurement.
+func (t *Table) Add(m Measurement) { t.rows = append(t.rows, m) }
+
+// Rows returns all measurements in insertion order.
+func (t *Table) Rows() []Measurement { return t.rows }
+
+// sweepValue extracts the varied parameter for grouping.
+func (t *Table) sweepValue(m Measurement) string {
+	switch t.SweepLabel {
+	case "tau":
+		return fmt.Sprint(m.Tau)
+	case "sigma":
+		if m.Sigma >= math.MaxInt32 {
+			return "inf"
+		}
+		return fmt.Sprint(m.Sigma)
+	case "slots":
+		return fmt.Sprint(m.Slots)
+	case "fraction":
+		return fmt.Sprintf("%d%%", m.Fraction)
+	case "usecase":
+		return fmt.Sprintf("tau=%d,sigma=%d", m.Tau, m.Sigma)
+	default:
+		return ""
+	}
+}
+
+// Render prints the table for one measure: "wallclock", "bytes",
+// "records", or "output".
+func (t *Table) Render(measure string) string {
+	datasets := orderedKeys(t.rows, func(m Measurement) string { return m.Dataset })
+	methods := orderedKeys(t.rows, func(m Measurement) string { return m.Method })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.Title, measure)
+	for _, ds := range datasets {
+		fmt.Fprintf(&sb, "[%s]\n", ds)
+		fmt.Fprintf(&sb, "%-18s", t.SweepLabel)
+		for _, m := range methods {
+			fmt.Fprintf(&sb, "%18s", m)
+		}
+		sb.WriteByte('\n')
+		sweeps := orderedKeys(t.rows, func(m Measurement) string {
+			if m.Dataset != ds {
+				return ""
+			}
+			return t.sweepValue(m)
+		})
+		for _, sv := range sweeps {
+			if sv == "" {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-18s", sv)
+			for _, method := range methods {
+				cell := "-"
+				for _, r := range t.rows {
+					if r.Dataset == ds && r.Method == method && t.sweepValue(r) == sv {
+						cell = formatMeasure(r, measure)
+						break
+					}
+				}
+				fmt.Fprintf(&sb, "%18s", cell)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func formatMeasure(m Measurement, measure string) string {
+	switch measure {
+	case "wallclock":
+		return formatDuration(m.Wallclock)
+	case "bytes":
+		return formatBytes(m.Bytes)
+	case "records":
+		return formatCount(m.Records)
+	case "output":
+		return formatCount(m.Output)
+	case "jobs":
+		return fmt.Sprint(m.Jobs)
+	default:
+		return "?"
+	}
+}
+
+func formatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprint(n)
+	}
+}
+
+func formatCount(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2fM", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	default:
+		return fmt.Sprint(n)
+	}
+}
+
+// CSV renders all measurements as comma-separated values with a header,
+// for downstream plotting.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("dataset,method,tau,sigma,slots,fraction,wallclock_ms,bytes,records,jobs,output\n")
+	for _, m := range t.rows {
+		sigma := fmt.Sprint(m.Sigma)
+		if m.Sigma >= math.MaxInt32 {
+			sigma = "inf"
+		}
+		fmt.Fprintf(&sb, "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d\n",
+			m.Dataset, m.Method, m.Tau, sigma, m.Slots, m.Fraction,
+			m.Wallclock.Milliseconds(), m.Bytes, m.Records, m.Jobs, m.Output)
+	}
+	return sb.String()
+}
+
+// Speedup returns the ratio of the named baseline method's measure to
+// the named method's, per dataset and sweep value — the "factor 12x"
+// comparisons of the paper's summary.
+func (t *Table) Speedup(measure, baseline, method string) map[string]float64 {
+	out := make(map[string]float64)
+	val := func(m Measurement) float64 {
+		switch measure {
+		case "wallclock":
+			return float64(m.Wallclock)
+		case "bytes":
+			return float64(m.Bytes)
+		case "records":
+			return float64(m.Records)
+		}
+		return math.NaN()
+	}
+	for _, a := range t.rows {
+		if a.Method != baseline {
+			continue
+		}
+		for _, b := range t.rows {
+			if b.Method != method || b.Dataset != a.Dataset || t.sweepValue(a) != t.sweepValue(b) {
+				continue
+			}
+			if v := val(b); v > 0 {
+				out[a.Dataset+"/"+t.sweepValue(a)] = val(a) / v
+			}
+		}
+	}
+	return out
+}
+
+// orderedKeys returns distinct non-empty key values in first-seen
+// order.
+func orderedKeys(rows []Measurement, key func(Measurement) string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range rows {
+		k := key(r)
+		if k == "" || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortBuckets returns the populated buckets of a Bucket2D in row-major
+// order, for stable test assertions.
+func SortBuckets(b *Bucket2D) [][3]int64 {
+	var out [][3]int64
+	for i := 0; i <= b.maxI; i++ {
+		for j := 0; j <= b.maxJ; j++ {
+			if c := b.Count(i, j); c > 0 {
+				out = append(out, [3]int64{int64(i), int64(j), c})
+			}
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		if out[x][0] != out[y][0] {
+			return out[x][0] < out[y][0]
+		}
+		return out[x][1] < out[y][1]
+	})
+	return out
+}

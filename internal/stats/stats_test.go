@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBucket2D(t *testing.T) {
+	b := NewBucket2D()
+	b.Add(1, 5)     // (0,0)
+	b.Add(3, 5)     // (0,0)
+	b.Add(10, 99)   // (1,1)
+	b.Add(150, 12)  // (2,1)
+	b.Add(1, 1_000) // (0,3)
+	if b.Total() != 5 {
+		t.Fatalf("Total = %d", b.Total())
+	}
+	if b.Count(0, 0) != 2 || b.Count(1, 1) != 1 || b.Count(2, 1) != 1 || b.Count(0, 3) != 1 {
+		t.Fatalf("bucket counts wrong: %v", SortBuckets(b))
+	}
+	if b.MaxLengthBucket() != 2 || b.MaxFrequencyBucket() != 3 {
+		t.Fatalf("max buckets = %d, %d", b.MaxLengthBucket(), b.MaxFrequencyBucket())
+	}
+	// Invalid entries are ignored.
+	b.Add(0, 5)
+	b.Add(5, 0)
+	if b.Total() != 5 {
+		t.Fatalf("invalid entries counted")
+	}
+	s := b.String()
+	if !strings.Contains(s, "10^3") {
+		t.Fatalf("render missing frequency row: %s", s)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	b := NewBucket2D()
+	b.Add(9, 9)     // (0,0)
+	b.Add(10, 10)   // (1,1)
+	b.Add(99, 99)   // (1,1)
+	b.Add(100, 100) // (2,2)
+	if b.Count(0, 0) != 1 || b.Count(1, 1) != 2 || b.Count(2, 2) != 1 {
+		t.Fatalf("boundary bucketing wrong: %v", SortBuckets(b))
+	}
+}
+
+func sample() *Table {
+	tb := NewTable("Fig 4", "tau")
+	for _, ds := range []string{"NYT", "CW"} {
+		for _, tau := range []int64{10, 100} {
+			tb.Add(Measurement{
+				Dataset: ds, Method: "naive", Tau: tau, Sigma: 5,
+				Wallclock: time.Duration(tau) * time.Second, Bytes: tau * 1000, Records: tau * 10,
+			})
+			tb.Add(Measurement{
+				Dataset: ds, Method: "suffix-sigma", Tau: tau, Sigma: 5,
+				Wallclock: time.Duration(tau) * time.Second / 4, Bytes: tau * 250, Records: tau * 2,
+			})
+		}
+	}
+	return tb
+}
+
+func TestTableRender(t *testing.T) {
+	tb := sample()
+	out := tb.Render("wallclock")
+	for _, want := range []string{"Fig 4 — wallclock", "[NYT]", "[CW]", "naive", "suffix-sigma", "10", "100"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(tb.Render("bytes"), "bytes") {
+		t.Fatal("bytes measure missing")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	csv := sample().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 9 { // header + 8 rows
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "dataset,method,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "NYT,naive,10,5,") {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	tb := sample()
+	sp := tb.Speedup("wallclock", "naive", "suffix-sigma")
+	if len(sp) != 4 {
+		t.Fatalf("speedup entries = %d (%v)", len(sp), sp)
+	}
+	for k, v := range sp {
+		if v < 3.9 || v > 4.1 {
+			t.Fatalf("speedup[%s] = %f, want 4", k, v)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		m       Measurement
+		measure string
+		want    string
+	}{
+		{Measurement{Wallclock: 90 * time.Second}, "wallclock", "1.5m"},
+		{Measurement{Wallclock: 1500 * time.Millisecond}, "wallclock", "1.50s"},
+		{Measurement{Wallclock: 5 * time.Millisecond}, "wallclock", "5ms"},
+		{Measurement{Bytes: 3 << 30}, "bytes", "3.00GB"},
+		{Measurement{Bytes: 5 << 20}, "bytes", "5.00MB"},
+		{Measurement{Bytes: 2048}, "bytes", "2.0KB"},
+		{Measurement{Bytes: 100}, "bytes", "100"},
+		{Measurement{Records: 2_500_000_000}, "records", "2.50G"},
+		{Measurement{Records: 1_200_000}, "records", "1.20M"},
+		{Measurement{Records: 1_500}, "records", "1.5k"},
+		{Measurement{Records: 12}, "records", "12"},
+		{Measurement{Jobs: 7}, "jobs", "7"},
+	}
+	for _, c := range cases {
+		if got := formatMeasure(c.m, c.measure); got != c.want {
+			t.Errorf("formatMeasure(%s) = %q, want %q", c.measure, got, c.want)
+		}
+	}
+}
+
+func TestSweepLabels(t *testing.T) {
+	tb := NewTable("x", "sigma")
+	tb.Add(Measurement{Dataset: "D", Method: "m", Sigma: 1<<31 - 1})
+	if !strings.Contains(tb.Render("wallclock"), "inf") {
+		t.Fatal("unbounded sigma should render as inf")
+	}
+	tb2 := NewTable("x", "fraction")
+	tb2.Add(Measurement{Dataset: "D", Method: "m", Fraction: 25})
+	if !strings.Contains(tb2.Render("wallclock"), "25%") {
+		t.Fatal("fraction label missing")
+	}
+	tb3 := NewTable("x", "slots")
+	tb3.Add(Measurement{Dataset: "D", Method: "m", Slots: 8})
+	if !strings.Contains(tb3.Render("wallclock"), "8") {
+		t.Fatal("slots label missing")
+	}
+}

@@ -1,0 +1,229 @@
+package synth
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ngramstats/internal/core"
+	"ngramstats/internal/sequence"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(NYTLike(50, 7))
+	b := Generate(NYTLike(50, 7))
+	if len(a.Docs) != len(b.Docs) {
+		t.Fatal("document counts differ")
+	}
+	for i := range a.Docs {
+		if a.Docs[i].Year != b.Docs[i].Year || len(a.Docs[i].Sentences) != len(b.Docs[i].Sentences) {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+		for j := range a.Docs[i].Sentences {
+			if !sequence.Equal(a.Docs[i].Sentences[j], b.Docs[i].Sentences[j]) {
+				t.Fatalf("doc %d sentence %d differs", i, j)
+			}
+		}
+	}
+	c := Generate(NYTLike(50, 8))
+	same := true
+	for i := range a.Docs {
+		if len(a.Docs[i].Sentences) != len(c.Docs[i].Sentences) {
+			same = false
+			break
+		}
+	}
+	if same {
+		// Extremely unlikely that every document has identical shape
+		// under a different seed.
+		differs := false
+		for i := range a.Docs {
+			for j := range a.Docs[i].Sentences {
+				if !sequence.Equal(a.Docs[i].Sentences[j], c.Docs[i].Sentences[j]) {
+					differs = true
+				}
+			}
+		}
+		if !differs {
+			t.Fatal("different seeds produced identical corpora")
+		}
+	}
+}
+
+func TestIdentifiersDescendingFrequency(t *testing.T) {
+	col := Generate(NYTLike(100, 1))
+	// Measure actual collection frequencies per id; they must be
+	// non-increasing in id.
+	counts := make(map[sequence.Term]int64)
+	for i := range col.Docs {
+		for _, s := range col.Docs[i].Sentences {
+			for _, term := range s {
+				counts[term]++
+			}
+		}
+	}
+	var maxID sequence.Term
+	for id := range counts {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	prev := int64(math.MaxInt64)
+	for id := sequence.Term(0); id <= maxID; id++ {
+		c := counts[id]
+		if c == 0 {
+			t.Fatalf("gap in term ids at %d", id)
+		}
+		if c > prev {
+			t.Fatalf("id %d has cf %d > cf %d of id %d", id, c, prev, id-1)
+		}
+		prev = c
+	}
+	// The dictionary records the same frequencies.
+	if col.Dict == nil {
+		t.Fatal("no dictionary attached")
+	}
+	for id := sequence.Term(0); id <= maxID; id++ {
+		if col.Dict.CF(id) != counts[id] {
+			t.Fatalf("dictionary cf mismatch at id %d", id)
+		}
+	}
+}
+
+func TestSentenceLengthMoments(t *testing.T) {
+	cfgs := []struct {
+		cfg      Config
+		mean, sd float64
+	}{
+		{NYTLike(800, 3), 18.96, 14.05},
+		{CWLike(800, 4), 17.02, 17.56},
+	}
+	for _, c := range cfgs {
+		// The generator's background parameters are calibrated so the
+		// measured post-truncation, post-injection moments land near the
+		// Table I values.
+		st := Generate(c.cfg).Stats()
+		if math.Abs(st.SentenceLenMean-c.mean) > 2.5 {
+			t.Errorf("%s: sentence length mean = %.2f, want ≈ %.2f", c.cfg.Name, st.SentenceLenMean, c.mean)
+		}
+		if math.Abs(st.SentenceLenSD-c.sd) > 4.0 {
+			t.Errorf("%s: sentence length sd = %.2f, want ≈ %.2f", c.cfg.Name, st.SentenceLenSD, c.sd)
+		}
+	}
+}
+
+func TestYearsWithinRange(t *testing.T) {
+	col := Generate(NYTLike(200, 5))
+	years := map[int]bool{}
+	for _, d := range col.Docs {
+		if d.Year < 1987 || d.Year > 2007 {
+			t.Fatalf("doc year %d out of range", d.Year)
+		}
+		years[d.Year] = true
+	}
+	if len(years) < 10 {
+		t.Fatalf("only %d distinct years in 200 docs", len(years))
+	}
+	for _, d := range Generate(CWLike(50, 5)).Docs {
+		if d.Year != 2009 {
+			t.Fatalf("CW doc year %d, want 2009", d.Year)
+		}
+	}
+}
+
+// TestLongFrequentNGramsExist verifies the injected patterns produce
+// what Figure 2 shows: n-grams of 10+ terms occurring 5+ times.
+func TestLongFrequentNGramsExist(t *testing.T) {
+	for _, cfg := range []Config{NYTLike(600, 11), CWLike(600, 12)} {
+		col := Generate(cfg)
+		run, err := core.Compute(context.Background(), col, core.SuffixSigma, core.Params{
+			Tau: 5, Sigma: 200, NumReducers: 4, InputSplits: 4, TempDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		longest := 0
+		err = run.Result.Each(func(s sequence.Seq, cf int64) error {
+			if len(s) > longest {
+				longest = len(s)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if longest < 10 {
+			t.Errorf("%s: longest frequent n-gram has %d terms, want ≥ 10", cfg.Name, longest)
+		}
+	}
+}
+
+// TestZipfShape: frequency of rank-0 term should dominate, and the
+// distribution should be heavy-tailed (many hapaxes).
+func TestZipfShape(t *testing.T) {
+	col := Generate(NYTLike(400, 13))
+	st := col.Stats()
+	top := col.Dict.CF(0)
+	if float64(top) < 0.01*float64(st.TermOccurrences) {
+		t.Fatalf("top term covers only %d of %d occurrences", top, st.TermOccurrences)
+	}
+	ones := 0
+	for id := sequence.Term(0); int(id) < col.Dict.Len(); id++ {
+		if col.Dict.CF(id) == 1 {
+			ones++
+		}
+	}
+	if float64(ones) < 0.1*float64(col.Dict.Len()) {
+		t.Fatalf("only %d of %d terms are hapaxes", ones, col.Dict.Len())
+	}
+}
+
+func TestWordDeterministicAndDistinct(t *testing.T) {
+	seen := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		w := Word(i)
+		if w == "" {
+			t.Fatalf("empty word for rank %d", i)
+		}
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("Word(%d) == Word(%d) == %q", i, prev, w)
+		}
+		seen[w] = i
+		if w != Word(i) {
+			t.Fatalf("Word(%d) not deterministic", i)
+		}
+	}
+}
+
+func TestZipfSampler(t *testing.T) {
+	z := newZipfSampler(100, 1.0)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r := z.sample(rng)
+		if r < 0 || r >= 100 {
+			t.Fatalf("sample out of range: %d", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 ≈ 1/H(100) ≈ 19% of the mass.
+	if counts[0] < n/10 || counts[0] > n/3 {
+		t.Fatalf("rank-0 frequency %d implausible for Zipf(1.0)", counts[0])
+	}
+	// Monotone-ish decrease between well-separated ranks.
+	if counts[0] <= counts[10] || counts[10] <= counts[60] {
+		t.Fatalf("frequencies not decreasing: %d %d %d", counts[0], counts[10], counts[60])
+	}
+}
+
+// TestCWScaleRelativeToNYT: CW configuration yields a noisier corpus —
+// more distinct terms for the same document count.
+func TestCWScaleRelativeToNYT(t *testing.T) {
+	nyt := Generate(NYTLike(300, 21)).Stats()
+	cw := Generate(CWLike(300, 21)).Stats()
+	if cw.DistinctTerms <= nyt.DistinctTerms {
+		t.Fatalf("CW distinct terms %d ≤ NYT %d", cw.DistinctTerms, nyt.DistinctTerms)
+	}
+}

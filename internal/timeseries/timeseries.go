@@ -1,0 +1,179 @@
+// Package timeseries provides n-gram time-series types for the
+// Section VI-B extension: per-year occurrence counts of an n-gram
+// ("n-gram time series, recently made popular by Michel et al."),
+// with the normalization and comparison operations culturomics-style
+// analyses use.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a dense yearly time series.
+type Series struct {
+	// Start is the first year.
+	Start int
+	// Values holds one observation per consecutive year.
+	Values []float64
+}
+
+// FromCounts builds a dense series from sparse per-year counts over the
+// inclusive [start, end] range. Years outside the range are ignored.
+func FromCounts(counts map[int]int64, start, end int) *Series {
+	if end < start {
+		start, end = end, start
+	}
+	s := &Series{Start: start, Values: make([]float64, end-start+1)}
+	for y, c := range counts {
+		if y >= start && y <= end {
+			s.Values[y-start] = float64(c)
+		}
+	}
+	return s
+}
+
+// End returns the last year of the series.
+func (s *Series) End() int { return s.Start + len(s.Values) - 1 }
+
+// At returns the observation for a year (zero outside the range).
+func (s *Series) At(year int) float64 {
+	i := year - s.Start
+	if i < 0 || i >= len(s.Values) {
+		return 0
+	}
+	return s.Values[i]
+}
+
+// Total returns the sum of all observations.
+func (s *Series) Total() float64 {
+	var t float64
+	for _, v := range s.Values {
+		t += v
+	}
+	return t
+}
+
+// Normalize divides each observation by the corresponding value of
+// denom (typically the per-year total of all n-grams), yielding
+// relative frequencies. Years where denom is zero become zero.
+func (s *Series) Normalize(denom *Series) *Series {
+	out := &Series{Start: s.Start, Values: make([]float64, len(s.Values))}
+	for i := range s.Values {
+		d := denom.At(s.Start + i)
+		if d != 0 {
+			out.Values[i] = s.Values[i] / d
+		}
+	}
+	return out
+}
+
+// MovingAverage smooths the series with a centered window of the given
+// width (made odd by rounding up).
+func (s *Series) MovingAverage(window int) *Series {
+	if window < 1 {
+		window = 1
+	}
+	if window%2 == 0 {
+		window++
+	}
+	half := window / 2
+	out := &Series{Start: s.Start, Values: make([]float64, len(s.Values))}
+	for i := range s.Values {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi >= len(s.Values) {
+			hi = len(s.Values) - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += s.Values[j]
+		}
+		out.Values[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}
+
+// PeakYear returns the year of the maximum observation (the first, on
+// ties) and its value.
+func (s *Series) PeakYear() (int, float64) {
+	best, bestYear := math.Inf(-1), s.Start
+	for i, v := range s.Values {
+		if v > best {
+			best = v
+			bestYear = s.Start + i
+		}
+	}
+	return bestYear, best
+}
+
+// Correlation returns the Pearson correlation of two series over their
+// overlapping years, or NaN if the overlap is shorter than 2 years or
+// either side is constant.
+func Correlation(a, b *Series) float64 {
+	lo := a.Start
+	if b.Start > lo {
+		lo = b.Start
+	}
+	hi := a.End()
+	if b.End() < hi {
+		hi = b.End()
+	}
+	n := hi - lo + 1
+	if n < 2 {
+		return math.NaN()
+	}
+	var sx, sy float64
+	for y := lo; y <= hi; y++ {
+		sx += a.At(y)
+		sy += b.At(y)
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for y := lo; y <= hi; y++ {
+		dx, dy := a.At(y)-mx, b.At(y)-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Sparkline renders the series as a compact unicode bar chart, handy in
+// example output.
+func (s *Series) Sparkline() string {
+	bars := []rune("▁▂▃▄▅▆▇█")
+	max := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		return strings.Repeat("▁", len(s.Values))
+	}
+	var sb strings.Builder
+	for _, v := range s.Values {
+		idx := int(v / max * float64(len(bars)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(bars) {
+			idx = len(bars) - 1
+		}
+		sb.WriteRune(bars[idx])
+	}
+	return sb.String()
+}
+
+// String renders the series with its year range.
+func (s *Series) String() string {
+	return fmt.Sprintf("[%d-%d] %s", s.Start, s.End(), s.Sparkline())
+}

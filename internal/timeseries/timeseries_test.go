@@ -1,0 +1,105 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFromCountsAndAccessors(t *testing.T) {
+	s := FromCounts(map[int]int64{1990: 5, 1992: 2, 2010: 9}, 1990, 1995)
+	if s.Start != 1990 || s.End() != 1995 {
+		t.Fatalf("range = %d-%d", s.Start, s.End())
+	}
+	if s.At(1990) != 5 || s.At(1991) != 0 || s.At(1992) != 2 {
+		t.Fatalf("values = %v", s.Values)
+	}
+	if s.At(2010) != 0 {
+		t.Fatal("out-of-range year should be 0")
+	}
+	if s.Total() != 7 {
+		t.Fatalf("Total = %f", s.Total())
+	}
+	// Swapped bounds are tolerated.
+	s2 := FromCounts(map[int]int64{1991: 1}, 1995, 1990)
+	if s2.Start != 1990 || s2.At(1991) != 1 {
+		t.Fatal("swapped bounds broken")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := FromCounts(map[int]int64{2000: 10, 2001: 20}, 2000, 2002)
+	denom := FromCounts(map[int]int64{2000: 100, 2001: 100}, 2000, 2002)
+	n := s.Normalize(denom)
+	if n.At(2000) != 0.1 || n.At(2001) != 0.2 {
+		t.Fatalf("normalized = %v", n.Values)
+	}
+	if n.At(2002) != 0 {
+		t.Fatal("zero denominator year should normalize to 0")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	s := &Series{Start: 2000, Values: []float64{0, 3, 0, 3, 0}}
+	ma := s.MovingAverage(3)
+	want := []float64{1.5, 1, 2, 1, 1.5}
+	for i, v := range want {
+		if math.Abs(ma.Values[i]-v) > 1e-9 {
+			t.Fatalf("ma[%d] = %f, want %f (%v)", i, ma.Values[i], v, ma.Values)
+		}
+	}
+	// Even window is rounded up to odd; width 1 is identity.
+	id := s.MovingAverage(1)
+	for i := range s.Values {
+		if id.Values[i] != s.Values[i] {
+			t.Fatal("window-1 moving average should be identity")
+		}
+	}
+}
+
+func TestPeakYear(t *testing.T) {
+	s := FromCounts(map[int]int64{1990: 1, 1993: 7, 1994: 7}, 1990, 1995)
+	year, v := s.PeakYear()
+	if year != 1993 || v != 7 {
+		t.Fatalf("peak = %d, %f", year, v)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	a := &Series{Start: 2000, Values: []float64{1, 2, 3, 4}}
+	b := &Series{Start: 2000, Values: []float64{2, 4, 6, 8}}
+	if c := Correlation(a, b); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("correlation = %f, want 1", c)
+	}
+	inv := &Series{Start: 2000, Values: []float64{8, 6, 4, 2}}
+	if c := Correlation(a, inv); math.Abs(c+1) > 1e-9 {
+		t.Fatalf("correlation = %f, want -1", c)
+	}
+	flat := &Series{Start: 2000, Values: []float64{5, 5, 5, 5}}
+	if c := Correlation(a, flat); !math.IsNaN(c) {
+		t.Fatalf("correlation with constant = %f, want NaN", c)
+	}
+	short := &Series{Start: 2010, Values: []float64{1}}
+	if c := Correlation(a, short); !math.IsNaN(c) {
+		t.Fatalf("correlation without overlap = %f, want NaN", c)
+	}
+	// Partial overlap.
+	c := Correlation(a, &Series{Start: 2002, Values: []float64{3, 4, 99}})
+	if math.Abs(c-1) > 1e-9 {
+		t.Fatalf("overlap correlation = %f, want 1", c)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := &Series{Start: 2000, Values: []float64{0, 1, 2, 4}}
+	sp := s.Sparkline()
+	if len([]rune(sp)) != 4 {
+		t.Fatalf("sparkline length = %d", len([]rune(sp)))
+	}
+	zero := &Series{Start: 2000, Values: []float64{0, 0}}
+	if zero.Sparkline() != "▁▁" {
+		t.Fatalf("zero sparkline = %q", zero.Sparkline())
+	}
+	if s.String() == "" || s.String()[0] != '[' {
+		t.Fatalf("String = %q", s.String())
+	}
+}

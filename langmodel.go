@@ -1,0 +1,85 @@
+package ngramstats
+
+import (
+	"math/rand"
+	"strings"
+
+	"ngramstats/internal/lm"
+	"ngramstats/internal/sequence"
+)
+
+// LanguageModel is a stupid-backoff n-gram language model (Brants et
+// al., EMNLP 2007) trained from computed n-gram statistics — the
+// paper's language-model use case.
+type LanguageModel struct {
+	corpus *Corpus
+	model  *lm.Model
+}
+
+// NewLanguageModel trains a model of the given order from a result.
+// The result should have been computed with MaxLength ≥ order and a
+// low MinFrequency.
+func NewLanguageModel(r *Result, order int) (*LanguageModel, error) {
+	m, err := lm.FromResult(r.run.Result, order, lm.DefaultAlpha)
+	if err != nil {
+		return nil, err
+	}
+	return &LanguageModel{corpus: r.corpus, model: m}, nil
+}
+
+// Order returns the model's maximum n-gram length.
+func (l *LanguageModel) Order() int { return l.model.Order() }
+
+func (l *LanguageModel) encode(words []string) (sequence.Seq, bool) {
+	ids := make(sequence.Seq, len(words))
+	for i, w := range words {
+		id, ok := l.corpus.TermID(strings.ToLower(w))
+		if !ok {
+			return nil, false
+		}
+		ids[i] = id
+	}
+	return ids, true
+}
+
+// Score returns the stupid-backoff score of a word given its context
+// words. Unknown context words truncate the context; an unknown word
+// scores near zero.
+func (l *LanguageModel) Score(context []string, word string) float64 {
+	w, ok := l.corpus.TermID(strings.ToLower(word))
+	if !ok {
+		return 0
+	}
+	ctx, ok := l.encode(context)
+	if !ok {
+		ctx = nil
+	}
+	return l.model.Score(ctx, w)
+}
+
+// Perplexity evaluates the model on test sentences (each a slice of
+// words); lower is better. Sentences with unknown words are skipped.
+func (l *LanguageModel) Perplexity(sentences [][]string) float64 {
+	var encoded []sequence.Seq
+	for _, s := range sentences {
+		if ids, ok := l.encode(s); ok {
+			encoded = append(encoded, ids)
+		}
+	}
+	return l.model.Perplexity(encoded)
+}
+
+// Generate samples a continuation of the prefix words, returning the
+// full generated word sequence.
+func (l *LanguageModel) Generate(rng *rand.Rand, prefix []string, n int) []string {
+	ids, ok := l.encode(prefix)
+	if !ok {
+		ids = nil
+	}
+	out := l.model.Generate(rng, ids, n)
+	words := make([]string, len(out))
+	for i, id := range out {
+		words[i] = l.corpus.Term(id)
+	}
+	return words
+}

@@ -1,0 +1,309 @@
+package ngramstats
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func roseCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := FromText("rose", []string{
+		"a rose is a rose is a rose.",
+		"a rose by any other name.",
+	}, []int{1913, 1597})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	c := roseCorpus(t)
+	res, err := Count(context.Background(), c, Options{
+		MinFrequency: 2,
+		MaxLength:    3,
+		TempDir:      t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+
+	top, err := res.TopK(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("TopK = %d entries", len(top))
+	}
+	// "a", "rose", and "a rose" all have cf 4; ties break longer-first.
+	if top[0].Text != "a rose" || top[0].Frequency != 4 {
+		t.Fatalf("most frequent = %q (cf %d)", top[0].Text, top[0].Frequency)
+	}
+	ng, ok, err := res.Lookup("a rose")
+	if err != nil || !ok {
+		t.Fatalf("Lookup(a rose) = %v, %v", ok, err)
+	}
+	if ng.Frequency != 4 {
+		t.Fatalf("cf(a rose) = %d, want 4", ng.Frequency)
+	}
+	if ng.Length() != 2 {
+		t.Fatalf("Length = %d", ng.Length())
+	}
+	// "is a rose" occurs twice.
+	ng, ok, err = res.Lookup("is a rose")
+	if err != nil || !ok || ng.Frequency != 2 {
+		t.Fatalf("Lookup(is a rose) = %+v, %v, %v", ng, ok, err)
+	}
+	// Absent phrase.
+	if _, ok, _ := res.Lookup("other rose"); ok {
+		t.Fatal("phantom phrase found")
+	}
+	if _, ok, _ := res.Lookup("notaword"); ok {
+		t.Fatal("unknown word matched")
+	}
+}
+
+func TestAllMethodsViaFacade(t *testing.T) {
+	c := roseCorpus(t)
+	var baseline map[string]int64
+	for _, m := range []Method{MethodNaive, MethodAprioriScan, MethodAprioriIndex, MethodSuffixSigma} {
+		res, err := Count(context.Background(), c, Options{
+			Method: m, MinFrequency: 2, MaxLength: 4, TempDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		got := map[string]int64{}
+		if err := res.Each(func(ng NGram) error {
+			got[ng.Text] = ng.Frequency
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = got
+			continue
+		}
+		if len(got) != len(baseline) {
+			t.Fatalf("%s disagrees: %v vs %v", m, got, baseline)
+		}
+		for k, v := range baseline {
+			if got[k] != v {
+				t.Fatalf("%s: cf(%q) = %d, want %d", m, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestMaximalSelection(t *testing.T) {
+	c := roseCorpus(t)
+	res, err := Count(context.Background(), c, Options{
+		MinFrequency: 2, MaxLength: 3, Selection: SelectMaximal, TempDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No reported n-gram may be a subsequence of another reported one.
+	for _, a := range all {
+		for _, b := range all {
+			if a.Text != b.Text && strings.Contains(" "+b.Text+" ", " "+a.Text+" ") {
+				t.Fatalf("maximal set contains %q inside %q", a.Text, b.Text)
+			}
+		}
+	}
+}
+
+func TestTimeSeriesAggregationFacade(t *testing.T) {
+	c := roseCorpus(t)
+	res, err := Count(context.Background(), c, Options{
+		MinFrequency: 2, MaxLength: 2, Aggregation: TimeSeries, TempDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, ok, err := res.Lookup("a rose")
+	if err != nil || !ok {
+		t.Fatal("lookup failed")
+	}
+	if ng.Years[1913] != 3 || ng.Years[1597] != 1 {
+		t.Fatalf("years = %v", ng.Years)
+	}
+}
+
+func TestDocumentIndexAggregationFacade(t *testing.T) {
+	c := roseCorpus(t)
+	res, err := Count(context.Background(), c, Options{
+		MinFrequency: 1, MaxLength: 1, Aggregation: DocumentIndex, TempDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng, ok, err := res.Lookup("rose")
+	if err != nil || !ok {
+		t.Fatal("lookup failed")
+	}
+	if ng.Documents[0] != 3 || ng.Documents[1] != 1 {
+		t.Fatalf("documents = %v", ng.Documents)
+	}
+}
+
+func TestSyntheticCorporaFacade(t *testing.T) {
+	nyt := SyntheticNYT(60, 1)
+	cw := SyntheticCW(60, 2)
+	if nyt.Name() != "NYT" || cw.Name() != "CW" {
+		t.Fatalf("names = %q, %q", nyt.Name(), cw.Name())
+	}
+	st := nyt.Stats()
+	if st.Documents != 60 || st.TermOccurrences == 0 || st.Sentences == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	half := nyt.Sample(0.5, 3)
+	if half.Stats().Documents != 30 {
+		t.Fatalf("sample docs = %d", half.Stats().Documents)
+	}
+	// Dictionary round trip through term/id.
+	id, ok := nyt.TermID(nyt.Term(0))
+	if !ok || id != 0 {
+		t.Fatalf("term/id round trip: %d, %v", id, ok)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := roseCorpus(t)
+	dir := filepath.Join(t.TempDir(), "corpus")
+	if err := c.Save(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load("rose", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats() != c.Stats() {
+		t.Fatalf("stats mismatch after round trip")
+	}
+}
+
+func TestLanguageModelFacade(t *testing.T) {
+	c, err := FromText("lm", []string{
+		"the cat sat on the mat.",
+		"the cat ran off the mat.",
+		"the dog sat on the rug.",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Count(context.Background(), c, Options{
+		MinFrequency: 1, MaxLength: 3, TempDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := NewLanguageModel(res, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Order() != 3 {
+		t.Fatalf("order = %d", model.Order())
+	}
+	catScore := model.Score([]string{"the"}, "cat")
+	rugScore := model.Score([]string{"the"}, "rug")
+	if catScore <= rugScore {
+		t.Fatalf("S(cat|the)=%f should beat S(rug|the)=%f", catScore, rugScore)
+	}
+	if model.Score([]string{"the"}, "zebra") != 0 {
+		t.Fatal("unknown word should score 0")
+	}
+	ppl := model.Perplexity([][]string{{"the", "cat", "sat"}})
+	if ppl <= 0 {
+		t.Fatalf("perplexity = %f", ppl)
+	}
+	words := model.Generate(rand.New(rand.NewSource(1)), []string{"the"}, 3)
+	if len(words) < 2 {
+		t.Fatalf("generated %v", words)
+	}
+}
+
+func TestLongestAndCounters(t *testing.T) {
+	c := roseCorpus(t)
+	res, err := Count(context.Background(), c, Options{
+		MinFrequency: 2, TempDir: t.TempDir(), Combiner: true, DocumentSplits: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	longest, err := res.Longest(1)
+	if err != nil || len(longest) != 1 {
+		t.Fatal(err)
+	}
+	// "a rose is a rose" (len 5) occurs... "rose is a rose" twice? The
+	// repeated phrase "a rose is a rose" occurs only once; with τ=2 the
+	// longest frequent n-gram is "is a rose" or similar of length 3.
+	if longest[0].Length() < 2 {
+		t.Fatalf("longest = %+v", longest[0])
+	}
+	if res.BytesTransferred() <= 0 || res.RecordsTransferred() <= 0 {
+		t.Fatal("counters empty")
+	}
+	if res.Jobs() != 3 { // docsplit count + rewrite + suffix-σ
+		t.Fatalf("jobs = %d, want 3", res.Jobs())
+	}
+	if res.Wallclock() <= 0 {
+		t.Fatal("no wallclock")
+	}
+}
+
+func TestFromTextFiles(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.txt")
+	p2 := filepath.Join(dir, "b.txt")
+	if err := writeFile(p1, "hello world. hello again."); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(p2, "hello world again."); err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromTextFiles("files", []string{p1, p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Documents != 2 {
+		t.Fatalf("documents = %d", c.Stats().Documents)
+	}
+	if _, err := FromTextFiles("missing", []string{filepath.Join(dir, "nope.txt")}); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestFromWebText(t *testing.T) {
+	c, err := FromWebText("web", []string{
+		"Home | About | Contact\nThis is the real content of the page with many words.\nNext » Prev",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.TermID("about"); ok {
+		t.Fatal("boilerplate token survived filtering")
+	}
+	if _, ok := c.TermID("content"); !ok {
+		t.Fatal("content token missing")
+	}
+}
+
+func TestYearsValidation(t *testing.T) {
+	if _, err := FromText("bad", []string{"a", "b"}, []int{1999}); err == nil {
+		t.Fatal("expected mismatched years error")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

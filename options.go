@@ -1,0 +1,109 @@
+package ngramstats
+
+import (
+	"ngramstats/internal/core"
+)
+
+// Method selects the algorithm used to compute n-gram statistics.
+type Method string
+
+// Available methods. MethodSuffixSigma is the recommended default: it
+// outperforms the alternatives by up to an order of magnitude for long
+// or infrequent n-grams and is never significantly worse.
+const (
+	MethodNaive        Method = Method(core.Naive)
+	MethodAprioriScan  Method = Method(core.AprioriScan)
+	MethodAprioriIndex Method = Method(core.AprioriIndex)
+	MethodSuffixSigma  Method = Method(core.SuffixSigma)
+)
+
+// Selection restricts which frequent n-grams are reported.
+type Selection int
+
+const (
+	// SelectAll reports every n-gram with cf ≥ MinFrequency.
+	SelectAll Selection = iota
+	// SelectMaximal reports only n-grams with no frequent
+	// super-sequence. Dramatically smaller output; omitted n-grams are
+	// exactly the subsequences of reported ones.
+	SelectMaximal
+	// SelectClosed reports only n-grams with no equally-frequent
+	// super-sequence. Omitted n-grams can be reconstructed together
+	// with their exact frequencies.
+	SelectClosed
+)
+
+// Aggregation selects what is collected per n-gram.
+type Aggregation int
+
+const (
+	// Counts aggregates total occurrence counts (the default).
+	Counts Aggregation = iota
+	// TimeSeries aggregates per-year occurrence counts from document
+	// publication years.
+	TimeSeries
+	// DocumentIndex aggregates per-document occurrence counts (an
+	// inverted index).
+	DocumentIndex
+)
+
+// Options configures Count. The zero value computes statistics for all
+// n-grams of any length occurring at least once, using SUFFIX-σ with
+// sensible local defaults — set MinFrequency and MaxLength for
+// anything non-trivial.
+type Options struct {
+	// Method is the algorithm; empty selects MethodSuffixSigma.
+	Method Method
+	// MinFrequency is τ: the minimum number of occurrences. Values < 1
+	// are treated as 1.
+	MinFrequency int64
+	// MaxLength is σ: the maximum n-gram length in words. 0 means
+	// unbounded.
+	MaxLength int
+	// Selection optionally restricts output to maximal or closed
+	// n-grams (MethodSuffixSigma only).
+	Selection Selection
+	// Aggregation selects counts, per-year time series, or per-document
+	// indexes (MethodSuffixSigma only for the latter two).
+	Aggregation Aggregation
+	// Reducers is the number of reduce partitions per job (default:
+	// 2×GOMAXPROCS).
+	Reducers int
+	// MapSlots and ReduceSlots bound task concurrency (default:
+	// GOMAXPROCS).
+	MapSlots, ReduceSlots int
+	// InputSplits is the number of map tasks over the corpus (default
+	// 16).
+	InputSplits int
+	// DocumentSplits enables the pre-processing that splits documents
+	// at infrequent terms; worthwhile for large MaxLength.
+	DocumentSplits bool
+	// Combiner enables map-side local aggregation.
+	Combiner bool
+	// TempDir is the scratch directory for shuffle spills (default:
+	// system temp).
+	TempDir string
+	// Logf, if non-nil, receives progress messages.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) params() (core.Method, core.Params) {
+	m := core.Method(o.Method)
+	if o.Method == "" {
+		m = core.SuffixSigma
+	}
+	return m, core.Params{
+		Tau:         o.MinFrequency,
+		Sigma:       o.MaxLength,
+		NumReducers: o.Reducers,
+		MapSlots:    o.MapSlots,
+		ReduceSlots: o.ReduceSlots,
+		InputSplits: o.InputSplits,
+		TempDir:     o.TempDir,
+		DocSplit:    o.DocumentSplits,
+		Combiner:    o.Combiner,
+		Select:      core.SelectMode(o.Selection),
+		Aggregation: core.AggregationKind(o.Aggregation),
+		Logf:        o.Logf,
+	}
+}

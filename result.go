@@ -1,0 +1,194 @@
+package ngramstats
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"time"
+
+	"ngramstats/internal/core"
+	"ngramstats/internal/sequence"
+)
+
+// NGram is one reported n-gram with its statistics.
+type NGram struct {
+	// IDs are the term identifiers.
+	IDs []uint32
+	// Text is the space-joined word form (empty terms render as the
+	// identifier).
+	Text string
+	// Frequency is the collection frequency cf: the total number of
+	// occurrences in the corpus.
+	Frequency int64
+	// Years holds per-year occurrence counts (Aggregation: TimeSeries).
+	Years map[int]int64
+	// Documents holds per-document occurrence counts (Aggregation:
+	// DocumentIndex).
+	Documents map[int64]int64
+}
+
+// Length returns the number of words.
+func (n NGram) Length() int { return len(n.IDs) }
+
+// Result is the outcome of a Count run.
+type Result struct {
+	corpus *Corpus
+	run    *core.Run
+}
+
+// Count computes n-gram statistics over the corpus.
+func Count(ctx context.Context, c *Corpus, opts Options) (*Result, error) {
+	method, params := opts.params()
+	run, err := core.Compute(ctx, c.collection(), method, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{corpus: c, run: run}, nil
+}
+
+// Len returns the number of reported n-grams.
+func (r *Result) Len() int64 { return r.run.Result.Len() }
+
+// Wallclock returns the total elapsed time across all MapReduce jobs.
+func (r *Result) Wallclock() time.Duration { return r.run.Wallclock }
+
+// Jobs returns the number of MapReduce jobs the method launched.
+func (r *Result) Jobs() int { return r.run.Jobs }
+
+// BytesTransferred returns the bytes moved between map and reduce
+// phases over all jobs (the paper's measure b).
+func (r *Result) BytesTransferred() int64 { return r.run.BytesTransferred() }
+
+// RecordsTransferred returns the key-value pairs moved between map and
+// reduce phases over all jobs (the paper's measure c).
+func (r *Result) RecordsTransferred() int64 { return r.run.RecordsTransferred() }
+
+// Each calls fn for every reported n-gram. Iteration order is
+// unspecified. Returning an error from fn stops iteration.
+func (r *Result) Each(fn func(NGram) error) error {
+	return r.run.Result.EachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
+		return fn(r.decode(s, agg))
+	})
+}
+
+func (r *Result) decode(s sequence.Seq, agg core.Aggregate) NGram {
+	ng := NGram{
+		IDs:       append([]uint32(nil), s...),
+		Frequency: agg.Frequency(),
+	}
+	if years, ok := core.TimeSeriesCounts(agg); ok {
+		ng.Years = years
+	}
+	if docs, ok := core.DocIndexCounts(agg); ok {
+		ng.Documents = docs
+	}
+	words := make([]string, len(s))
+	for i, id := range s {
+		if w := r.corpus.Term(id); w != "" {
+			words[i] = w
+		} else {
+			words[i] = "#" + itoa(uint64(id))
+		}
+	}
+	ng.Text = strings.Join(words, " ")
+	return ng
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// All collects every reported n-gram. For very large results prefer
+// Each.
+func (r *Result) All() ([]NGram, error) {
+	out := make([]NGram, 0, r.Len())
+	err := r.Each(func(ng NGram) error {
+		out = append(out, ng)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TopK returns the k most frequent n-grams, most frequent first; ties
+// break toward longer n-grams, then lexicographically.
+func (r *Result) TopK(k int) ([]NGram, error) {
+	all, err := r.All()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Frequency != all[j].Frequency {
+			return all[i].Frequency > all[j].Frequency
+		}
+		if len(all[i].IDs) != len(all[j].IDs) {
+			return len(all[i].IDs) > len(all[j].IDs)
+		}
+		return all[i].Text < all[j].Text
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k], nil
+}
+
+// Longest returns the k longest reported n-grams, longest first; ties
+// break toward higher frequency.
+func (r *Result) Longest(k int) ([]NGram, error) {
+	all, err := r.All()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if len(all[i].IDs) != len(all[j].IDs) {
+			return len(all[i].IDs) > len(all[j].IDs)
+		}
+		if all[i].Frequency != all[j].Frequency {
+			return all[i].Frequency > all[j].Frequency
+		}
+		return all[i].Text < all[j].Text
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k], nil
+}
+
+// Lookup returns the statistics of the given phrase, if reported.
+func (r *Result) Lookup(phrase string) (NGram, bool, error) {
+	words := strings.Fields(phrase)
+	ids := make(sequence.Seq, len(words))
+	for i, w := range words {
+		id, ok := r.corpus.TermID(strings.ToLower(w))
+		if !ok {
+			return NGram{}, false, nil
+		}
+		ids[i] = id
+	}
+	var found NGram
+	ok := false
+	err := r.Each(func(ng NGram) error {
+		if !ok && sequence.Equal(sequence.Seq(ng.IDs), ids) {
+			found = ng
+			ok = true
+		}
+		return nil
+	})
+	return found, ok, err
+}
+
+// Release frees the result's backing storage. The result must not be
+// used afterwards.
+func (r *Result) Release() error { return r.run.Result.Release() }

@@ -1,0 +1,61 @@
+package ngramstats
+
+import (
+	"ngramstats/internal/timeseries"
+)
+
+// Series is a dense yearly n-gram time series (the Section VI-B
+// extension), with the normalization and comparison operations
+// culturomics-style analyses use.
+type Series struct {
+	inner *timeseries.Series
+}
+
+// Series converts the n-gram's per-year counts (Aggregation:
+// TimeSeries) into a dense series over [start, end]. It returns nil if
+// the n-gram carries no time-series data.
+func (n NGram) Series(start, end int) *Series {
+	if n.Years == nil {
+		return nil
+	}
+	return &Series{inner: timeseries.FromCounts(n.Years, start, end)}
+}
+
+// Start returns the first year.
+func (s *Series) Start() int { return s.inner.Start }
+
+// End returns the last year.
+func (s *Series) End() int { return s.inner.End() }
+
+// At returns the observation for a year (zero outside the range).
+func (s *Series) At(year int) float64 { return s.inner.At(year) }
+
+// Total returns the sum of all observations.
+func (s *Series) Total() float64 { return s.inner.Total() }
+
+// Normalize divides each observation by the corresponding value of
+// denom (typically the per-year total over all n-grams), yielding
+// relative frequencies.
+func (s *Series) Normalize(denom *Series) *Series {
+	return &Series{inner: s.inner.Normalize(denom.inner)}
+}
+
+// MovingAverage smooths the series with a centered window.
+func (s *Series) MovingAverage(window int) *Series {
+	return &Series{inner: s.inner.MovingAverage(window)}
+}
+
+// PeakYear returns the year of the maximum observation and its value.
+func (s *Series) PeakYear() (int, float64) { return s.inner.PeakYear() }
+
+// Sparkline renders the series as a compact unicode bar chart.
+func (s *Series) Sparkline() string { return s.inner.Sparkline() }
+
+// String renders the series with its year range.
+func (s *Series) String() string { return s.inner.String() }
+
+// Correlation returns the Pearson correlation of two series over their
+// overlapping years (NaN when undefined).
+func Correlation(a, b *Series) float64 {
+	return timeseries.Correlation(a.inner, b.inner)
+}
