@@ -1,0 +1,3 @@
+module ngramstats
+
+go 1.24

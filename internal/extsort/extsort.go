@@ -2,13 +2,19 @@
 // (key, value) byte records. It is the storage engine behind the
 // MapReduce shuffle: map tasks append records to a Sorter, which keeps
 // an in-memory run up to a configurable budget, spills sorted runs to
-// varint-framed files, and finally exposes a single merged, sorted
-// iterator over all runs (in-memory and on-disk) using a k-way heap
-// merge.
+// varint-framed files, and finally exposes its sorted records one of
+// two ways: Sort merges the sorter's own runs (in-memory and on-disk)
+// into a single iterator with a k-way heap merge, while Seal hands the
+// runs themselves off as immutable Run values that any number of
+// sorters can contribute to one MergeRuns call.
 //
-// The sorter mirrors the role of the Hadoop map-side sort/spill
-// machinery that the paper's methods implicitly rely on for the
-// "sorting" half of MapReduce's sort-and-group contract.
+// The Sort path serves single-owner consumers (a combiner sorting one
+// map task's local output); the Seal/MergeRuns path is the shuffle
+// hand-off, mirroring Hadoop's architecture in which every map task
+// sorts and spills its own output and each reduce task merges the
+// sealed runs of all map tasks for its partition — the "sorting" half
+// of MapReduce's sort-and-group contract that the paper's methods rely
+// on.
 package extsort
 
 import (
@@ -25,6 +31,9 @@ import (
 
 // Compare orders two keys. Negative means a sorts before b.
 type Compare func(a, b []byte) int
+
+// defaultCompare is the order used when Options.Compare is nil.
+var defaultCompare Compare = bytes.Compare
 
 // Options configures a Sorter.
 type Options struct {
@@ -45,6 +54,12 @@ type record struct {
 	valOff, valLen int
 }
 
+// spillFile is one on-disk sorted run produced by a spill.
+type spillFile struct {
+	path string
+	recs int
+}
+
 // Sorter accumulates records and produces them in sorted order. It is
 // not safe for concurrent use; in the shuffle each map task owns one
 // sorter per reduce partition.
@@ -53,7 +68,7 @@ type Sorter struct {
 	cmp     Compare
 	arena   []byte
 	recs    []record
-	spills  []string
+	spills  []spillFile
 	n       int
 	mem     int
 	closed  bool
@@ -67,7 +82,7 @@ func NewSorter(opts Options) *Sorter {
 	}
 	cmp := opts.Compare
 	if cmp == nil {
-		cmp = bytes.Compare
+		cmp = defaultCompare
 	}
 	return &Sorter{opts: opts, cmp: cmp}
 }
@@ -85,7 +100,7 @@ func (s *Sorter) Spills() int { return len(s.spills) }
 // reuse their buffers.
 func (s *Sorter) Add(key, value []byte) error {
 	if s.closed {
-		return fmt.Errorf("extsort: Add after Sort")
+		return fmt.Errorf("extsort: Add after Sort or Seal")
 	}
 	ko := len(s.arena)
 	s.arena = append(s.arena, key...)
@@ -139,11 +154,22 @@ func (s *Sorter) spill() error {
 	if s.opts.OnSpill != nil {
 		s.opts.OnSpill(len(s.recs))
 	}
-	s.spills = append(s.spills, f.Name())
+	s.spills = append(s.spills, spillFile{path: f.Name(), recs: len(s.recs)})
 	s.arena = s.arena[:0]
 	s.recs = s.recs[:0]
 	s.mem = 0
 	return nil
+}
+
+// Spill forces the current in-memory buffer out to a sorted on-disk
+// run, regardless of the memory budget. It is a no-op when the buffer
+// is empty. The shuffle uses it for graceful degradation when a map
+// task's total buffering across partitions exceeds its task budget.
+func (s *Sorter) Spill() error {
+	if s.closed {
+		return fmt.Errorf("extsort: Spill after Sort or Seal")
+	}
+	return s.spill()
 }
 
 // Sort finalizes the sorter and returns an iterator over all records in
@@ -151,7 +177,7 @@ func (s *Sorter) spill() error {
 // Close the iterator to release spill files.
 func (s *Sorter) Sort() (*Iterator, error) {
 	if s.closed {
-		return nil, fmt.Errorf("extsort: Sort called twice")
+		return nil, fmt.Errorf("extsort: Sort after Sort or Seal")
 	}
 	s.closed = true
 	s.sortInMemory()
@@ -160,8 +186,8 @@ func (s *Sorter) Sort() (*Iterator, error) {
 	if len(s.recs) > 0 {
 		srcs = append(srcs, &memSource{arena: s.arena, recs: s.recs})
 	}
-	for _, path := range s.spills {
-		fs, err := newFileSource(path)
+	for _, sp := range s.spills {
+		fs, err := newFileSource(sp.path)
 		if err != nil {
 			for _, src := range srcs {
 				src.close()
@@ -193,8 +219,8 @@ func (s *Sorter) Sort() (*Iterator, error) {
 // them).
 func (s *Sorter) Discard() {
 	if !s.closed {
-		for _, path := range s.spills {
-			os.Remove(path)
+		for _, sp := range s.spills {
+			os.Remove(sp.path)
 		}
 		s.spills = nil
 	}

@@ -1,0 +1,130 @@
+package extsort
+
+import (
+	"container/heap"
+	"fmt"
+	"os"
+)
+
+// Run is a sealed, immutable sorted run of records: either the sorter's
+// final in-memory buffer or one on-disk spill file. Runs are the
+// hand-off unit of the map-side shuffle: each map task seals its
+// per-partition sorters into runs, and each reduce task merges every
+// map task's runs for its partition with MergeRuns.
+//
+// A Run owns its backing resources (the spill file, if on disk) until
+// ownership passes to a merge iterator via MergeRuns or the run is
+// released with Discard.
+type Run struct {
+	// In-memory run (arena/recs) or on-disk run (path); exactly one is
+	// populated.
+	arena []byte
+	recs  []record
+	path  string
+	n     int
+}
+
+// Len returns the number of records in the run. For on-disk runs this
+// is the count recorded at spill time.
+func (r *Run) Len() int { return r.n }
+
+// InMemory reports whether the run is held in memory rather than in a
+// spill file.
+func (r *Run) InMemory() bool { return r.path == "" }
+
+// Bytes returns the approximate byte size of the run's record data in
+// memory (zero for on-disk runs).
+func (r *Run) Bytes() int { return len(r.arena) }
+
+// Discard releases the run's resources. It is a no-op for in-memory
+// runs and for runs whose ownership has passed to a merge iterator.
+func (r *Run) Discard() {
+	if r.path != "" {
+		os.Remove(r.path)
+		r.path = ""
+	}
+	r.arena = nil
+	r.recs = nil
+}
+
+// source returns a stream over the run's records, in sorted order.
+func (r *Run) source() (source, error) {
+	if r.path == "" {
+		return &memSource{arena: r.arena, recs: r.recs}, nil
+	}
+	return newFileSource(r.path)
+}
+
+// Seal finalizes the sorter into its sealed sorted runs without merging
+// them: the in-memory buffer is sorted and becomes one in-memory run,
+// and each spill file becomes one on-disk run. Ownership of all backing
+// resources passes to the returned runs. After Seal, Add and Sort must
+// not be called.
+//
+// Seal is the map-task half of the shuffle hand-off: it costs no disk
+// I/O beyond spills that already happened, so small map outputs travel
+// to the reduce-side merge entirely in memory.
+func (s *Sorter) Seal() ([]*Run, error) {
+	if s.closed {
+		return nil, fmt.Errorf("extsort: Seal after Sort or Seal")
+	}
+	s.closed = true
+	s.sortInMemory()
+
+	var runs []*Run
+	for _, sp := range s.spills {
+		runs = append(runs, &Run{path: sp.path, n: sp.recs})
+	}
+	if len(s.recs) > 0 {
+		runs = append(runs, &Run{arena: s.arena, recs: s.recs, n: len(s.recs)})
+	}
+	s.spills = nil
+	s.arena = nil
+	s.recs = nil
+	return runs, nil
+}
+
+// MergeRuns returns an iterator over the k-way merge of the given
+// sealed runs, ordered by cmp (nil selects bytewise order). The keys of
+// each run must already be sorted under the same cmp. Ownership of all
+// runs passes to the iterator — including on error — and their
+// resources are released as the merge drains or when the iterator is
+// closed; the Run values themselves are emptied, so a later Discard on
+// them is a no-op. Zero runs yield an empty iterator.
+func MergeRuns(cmp Compare, runs []*Run) (*Iterator, error) {
+	if cmp == nil {
+		cmp = defaultCompare
+	}
+	it := &Iterator{cmp: cmp}
+	it.h.cmp = cmp
+	for i, r := range runs {
+		src, err := r.source()
+		if err != nil {
+			it.Close()
+			for _, rest := range runs[i:] {
+				rest.Discard()
+			}
+			return nil, err
+		}
+		// Ownership of the backing resources is now with src; empty the
+		// Run so a stray Discard cannot unlink a file mid-merge.
+		r.path = ""
+		r.arena = nil
+		r.recs = nil
+		ok, err := src.next()
+		if err != nil {
+			src.close()
+			it.Close()
+			for _, rest := range runs[i+1:] {
+				rest.Discard()
+			}
+			return nil, err
+		}
+		if ok {
+			heap.Push(&it.h, &heapEntry{src: src, order: i})
+		} else {
+			src.close()
+		}
+	}
+	return it, nil
+}

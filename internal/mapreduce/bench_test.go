@@ -1,0 +1,97 @@
+package mapreduce
+
+// Benchmarks for the shuffle emit path. The headline comparison is map
+// phase throughput at MapSlots=1 vs MapSlots=GOMAXPROCS: with the
+// map-side shuffle no lock is taken per emitted record, so adding map
+// slots must never make the map phase slower (and speeds it up on
+// multi-core hosts).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ngramstats/internal/encoding"
+)
+
+// benchInput builds splits whose mapper fans each input record out into
+// many small intermediate records, making the emit path dominate.
+func benchInput(splits int) Input {
+	recs := make([]KV, splits)
+	for i := range recs {
+		recs[i] = KV{Key: []byte(fmt.Sprint(i)), Value: []byte("x")}
+	}
+	return SliceInput(recs, splits)
+}
+
+func benchShuffleJob(b *testing.B, mapSlots, emitPerTask int) {
+	b.Helper()
+	splits := 2 * runtime.GOMAXPROCS(0)
+	if splits < 8 {
+		splits = 8
+	}
+	var mapMillis int64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), &Job{
+			Name:        "bench-shuffle",
+			Input:       benchInput(splits),
+			NewMapper:   func() Mapper { return emitHeavyMapper{k: emitPerTask} },
+			NewReducer:  func() Reducer { return sumReducer{} },
+			NumReducers: 2,
+			MapSlots:    mapSlots,
+			TempDir:     b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mapMillis = res.Counters.Get(CounterMapPhaseMillis)
+		if err := res.Output.Release(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(mapMillis), "map-ms/op")
+}
+
+// BenchmarkMapPhaseThroughput is the before/after evidence for the
+// lock-free emit path: compare MapSlots=1 against MapSlots=GOMAXPROCS.
+func BenchmarkMapPhaseThroughput(b *testing.B) {
+	const emitPerTask = 20_000
+	b.Run("MapSlots=1", func(b *testing.B) {
+		benchShuffleJob(b, 1, emitPerTask)
+	})
+	b.Run("MapSlots=GOMAXPROCS", func(b *testing.B) {
+		benchShuffleJob(b, runtime.GOMAXPROCS(0), emitPerTask)
+	})
+}
+
+// BenchmarkEmitRecord measures the raw cost of one record through the
+// emit path (partition + task-private sorter append + atomic counters).
+func BenchmarkEmitRecord(b *testing.B) {
+	val := encoding.AppendUvarint(nil, 1)
+	recs := []KV{{Key: []byte("0"), Value: []byte("x")}}
+	res, err := Run(context.Background(), &Job{
+		Name:  "bench-emit",
+		Input: SliceInput(recs, 1),
+		NewMapper: func() Mapper {
+			return MapperFunc(func(key, value []byte, emit Emit) error {
+				k := []byte("key-0000")
+				for i := 0; i < b.N; i++ {
+					if err := emit(k, val); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+		NewReducer:  func() Reducer { return sumReducer{} },
+		NumReducers: 4,
+		TempDir:     b.TempDir(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := res.Output.Release(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -27,6 +27,21 @@ const (
 	CounterLaunchedJobs       = "LAUNCHED_JOBS"
 	CounterMapPhaseMillis     = "MAP_PHASE_MILLIS"
 	CounterReducePhaseMillis  = "REDUCE_PHASE_MILLIS"
+
+	// Shuffle counters for the map-side spill / reduce-side merge
+	// architecture.
+	//
+	// SHUFFLE_SEALED_RUNS counts the sorted runs map tasks sealed and
+	// handed off to the reduce side. SHUFFLE_MERGE_FAN_IN sums the number
+	// of runs each reduce task merged (divide by reduce tasks for the
+	// average fan-in). SHUFFLE_MICROS accumulates the microseconds tasks
+	// spent in the shuffle hand-off itself — map-side sealing plus
+	// reduce-side merge opening — summed across tasks, not wall-clock of
+	// a phase (microseconds, because individual hand-offs are routinely
+	// sub-millisecond and would otherwise truncate to zero).
+	CounterShuffleRuns   = "SHUFFLE_SEALED_RUNS"
+	CounterMergeFanIn    = "SHUFFLE_MERGE_FAN_IN"
+	CounterShuffleMicros = "SHUFFLE_MICROS"
 )
 
 // Counters is a concurrency-safe named counter group, the equivalent of
@@ -56,6 +71,15 @@ func (c *Counters) counter(name string) *atomic.Int64 {
 // Add adds delta to the named counter, creating it if needed.
 func (c *Counters) Add(name string, delta int64) {
 	c.counter(name).Add(delta)
+}
+
+// Counter returns the atomic cell backing the named counter, creating
+// it if needed. Hot paths — the per-record map emit path above all —
+// resolve their counters once per task and then update the returned
+// cell lock-free, instead of paying the name lookup (and its mutex) per
+// record.
+func (c *Counters) Counter(name string) *atomic.Int64 {
+	return c.counter(name)
 }
 
 // Get returns the value of the named counter (zero if absent).

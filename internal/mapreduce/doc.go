@@ -1,0 +1,52 @@
+// Package mapreduce is an in-process MapReduce runtime modeled on
+// Hadoop, the substrate every method of the paper runs on. It provides
+// the programming model of Dean & Ghemawat — map(k1,v1) → list<(k2,v2)>,
+// sort/group, reduce(k2, list<v2>) → list<(k3,v3)> — together with the
+// Hadoop facilities the paper's implementation section (Section V)
+// depends on: custom partitioners and sort comparators, combiners for
+// local aggregation, job counters (MAP_OUTPUT_BYTES, MAP_OUTPUT_RECORDS,
+// …), side data in the style of the distributed cache, configurable
+// map/reduce slot pools, and a driver for multi-job workflows.
+//
+// # Shuffle architecture
+//
+// The shuffle follows Hadoop's map-side spill / reduce-side merge
+// design. Each map task partitions its output into task-private
+// bounded-memory sorters (package extsort), one per reduce partition,
+// optionally routing records through the combiner first. No lock is
+// taken on the per-record emit path: the sorters belong to the task
+// alone and hot counters are pre-resolved atomic cells, so map slots
+// scale without contending on a shared collector.
+//
+// When a task finishes, it seals every partition sorter into immutable
+// sorted runs — the final in-memory buffer travels as an in-memory run
+// at zero I/O cost; earlier spills travel as on-disk runs — and hands
+// them off through a per-task slot, so the hand-off itself is also
+// lock-free. Each reduce task then opens a multi-way merge
+// (extsort.MergeRuns) over all map tasks' runs for its partition and
+// streams the merged groups through the reducer.
+//
+// # Memory accounting
+//
+// Job.ShuffleMemory is the buffering budget of a single map task — the
+// analogue of Hadoop's io.sort.mb — shared across that task's partition
+// sorters; total shuffle buffering therefore approaches
+// MapSlots×ShuffleMemory. When a task's buffered bytes exceed its
+// budget, the largest partition buffer is gracefully spilled to a
+// sorted on-disk run and counting continues. Job.CombineMemory bounds
+// the combiner's pre-sort buffers the same way, divided statically per
+// partition.
+//
+// Sealed in-memory runs stay resident until their reduce task drains
+// them, so when a job has more map tasks than slots, each finishing
+// task spills its remainder to disk once its share of the
+// MapSlots×ShuffleMemory hand-off budget is exceeded — the analogue of
+// Hadoop's always-on-disk final map output, paid only when the bound
+// is actually at risk.
+//
+// The shuffle reports its shape through counters:
+// SHUFFLE_SEALED_RUNS (runs handed off), SHUFFLE_MERGE_FAN_IN (summed
+// reduce-side merge width), SHUFFLE_MICROS (time spent sealing and
+// opening merges, summed across tasks), alongside the Hadoop-style
+// SPILLED_RECORDS and REDUCE_SHUFFLE_BYTES.
+package mapreduce

@@ -1,16 +1,3 @@
-// Package mapreduce is an in-process MapReduce runtime modeled on
-// Hadoop, the substrate every method of the paper runs on. It provides
-// the programming model of Dean & Ghemawat — map(k1,v1) → list<(k2,v2)>,
-// sort/group, reduce(k2, list<v2>) → list<(k3,v3)> — together with the
-// Hadoop facilities the paper's implementation section (Section V)
-// depends on: custom partitioners and sort comparators, combiners for
-// local aggregation, job counters (MAP_OUTPUT_BYTES, MAP_OUTPUT_RECORDS,
-// …), side data in the style of the distributed cache, configurable
-// map/reduce slot pools, and a driver for multi-job workflows.
-//
-// The shuffle is backed by bounded-memory external sorters (one per
-// reduce partition) that spill sorted runs to disk and merge them for
-// the reduce phase, so jobs are not limited by main memory.
 package mapreduce
 
 import (
@@ -137,9 +124,13 @@ type Job struct {
 	// ReduceSlots bounds the number of concurrently executing reduce
 	// tasks. Defaults to GOMAXPROCS.
 	ReduceSlots int
-	// ShuffleMemory is the total memory budget in bytes for shuffle
-	// buffering across all partitions; beyond it, sorted runs spill to
-	// disk. Defaults to 256 MiB.
+	// ShuffleMemory is the memory budget in bytes of a single map task
+	// for buffering its partitioned output — the analogue of Hadoop's
+	// io.sort.mb, so total shuffle buffering approaches
+	// MapSlots×ShuffleMemory. When a task's buffered bytes across all of
+	// its partition sorters exceed the budget, the largest buffer is
+	// gracefully spilled to a sorted on-disk run. Defaults to 128 MiB;
+	// values below 64 KiB are clamped up to 64 KiB.
 	ShuffleMemory int
 	// CombineMemory is the per-map-task memory budget for combiner
 	// buffering. Defaults to 32 MiB.
@@ -190,7 +181,11 @@ func (j *Job) withDefaults() *Job {
 		cp.ReduceSlots = runtime.GOMAXPROCS(0)
 	}
 	if cp.ShuffleMemory <= 0 {
-		cp.ShuffleMemory = 256 << 20
+		cp.ShuffleMemory = 128 << 20
+	} else if cp.ShuffleMemory < 64<<10 {
+		// Floor the task budget so a tiny setting degrades to frequent
+		// small spills rather than one run per record.
+		cp.ShuffleMemory = 64 << 10
 	}
 	if cp.CombineMemory <= 0 {
 		cp.CombineMemory = 32 << 20
@@ -268,70 +263,81 @@ func Run(ctx context.Context, job *Job) (*Result, error) {
 	return res, nil
 }
 
-// partitionCollector is the shared shuffle buffer for one reduce
-// partition: an external sorter guarded by a mutex, fed by all map
-// tasks.
-type partitionCollector struct {
-	mu     sync.Mutex
-	sorter *extsort.Sorter
-}
-
-func (pc *partitionCollector) add(key, value []byte) error {
-	pc.mu.Lock()
-	err := pc.sorter.Add(key, value)
-	pc.mu.Unlock()
-	return err
+// discardRuns releases every run in a per-partition run set.
+func discardRuns(runSets ...[]*extsort.Run) {
+	for _, rs := range runSets {
+		for _, r := range rs {
+			r.Discard()
+		}
+	}
 }
 
 func runMapReduce(ctx context.Context, j *Job, splits []Split, sink Sink, counters *Counters) error {
-	// Shared per-partition collectors.
-	parts := make([]*partitionCollector, j.NumReducers)
-	perPartition := j.ShuffleMemory / j.NumReducers
-	if perPartition < 1<<20 {
-		perPartition = 1 << 20
-	}
-	for p := range parts {
-		parts[p] = &partitionCollector{sorter: extsort.NewSorter(extsort.Options{
-			MemoryBudget: perPartition,
-			TempDir:      j.TempDir,
-			Compare:      j.Compare,
-			OnSpill:      func(n int) { counters.Add(CounterSpilledRecords, int64(n)) },
-		})}
-	}
-	releaseParts := func() {
-		for _, pc := range parts {
-			if pc.sorter != nil {
-				pc.sorter.Discard()
-			}
+	// Lock-free run hand-off: every map task owns its splits[taskID]
+	// slot exclusively while running, so no synchronization is needed on
+	// the write; the map-phase barrier in runTasks publishes all slots
+	// to the reduce tasks.
+	runsByTask := make([][][]*extsort.Run, len(splits))
+	discardByTask := func() {
+		for _, taskRuns := range runsByTask {
+			discardRuns(taskRuns...)
 		}
 	}
 
-	// ---- Map phase ----
+	// sealKeep bounds the in-memory bytes one task may hand off in
+	// sealed runs, keeping the job's total resident hand-off memory
+	// near MapSlots×ShuffleMemory even when many more tasks than slots
+	// finish before the reduce phase drains them.
+	sealKeep := j.ShuffleMemory
+	if len(splits) > j.MapSlots {
+		sealKeep = j.ShuffleMemory * j.MapSlots / len(splits)
+	}
+
+	// ---- Map phase: each task sorts and spills its own output. ----
 	mapStart := time.Now()
 	if err := runTasks(ctx, len(splits), j.MapSlots, func(ctx context.Context, taskID int) error {
-		return runMapTask(ctx, j, taskID, splits[taskID], parts, counters)
+		runs, err := runMapTask(ctx, j, taskID, splits[taskID], sealKeep, counters)
+		if err != nil {
+			return err
+		}
+		runsByTask[taskID] = runs
+		return nil
 	}); err != nil {
-		releaseParts()
+		discardByTask()
 		return fmt.Errorf("mapreduce: job %q: map phase: %w", j.Name, err)
 	}
 	counters.Add(CounterMapPhaseMillis, time.Since(mapStart).Milliseconds())
 
-	// ---- Reduce phase ----
+	// ---- Shuffle: gather every map task's sealed runs per partition. ----
+	perPart := make([][]*extsort.Run, j.NumReducers)
+	for _, taskRuns := range runsByTask {
+		for p, rs := range taskRuns {
+			perPart[p] = append(perPart[p], rs...)
+		}
+	}
+	runsByTask = nil
+
+	// ---- Reduce phase: each task multi-way merges its partition. ----
 	reduceStart := time.Now()
 	if err := runTasks(ctx, j.NumReducers, j.ReduceSlots, func(ctx context.Context, p int) error {
-		pc := parts[p]
-		sorter := pc.sorter
-		pc.sorter = nil
-		return runReduceTask(ctx, j, p, sorter, sink, counters)
+		runs := perPart[p]
+		perPart[p] = nil // ownership passes to the reduce task
+		return runReduceTask(ctx, j, p, runs, sink, counters)
 	}); err != nil {
-		releaseParts()
+		discardRuns(perPart...)
 		return fmt.Errorf("mapreduce: job %q: reduce phase: %w", j.Name, err)
 	}
 	counters.Add(CounterReducePhaseMillis, time.Since(reduceStart).Milliseconds())
 	return nil
 }
 
-func runMapTask(ctx context.Context, j *Job, taskID int, split Split, parts []*partitionCollector, counters *Counters) error {
+// runMapTask executes one map task: it runs the mapper over its split,
+// partitions and locally sorts the output in task-private sorters
+// (routing it through the combiner first when configured), then seals
+// each partition's sorter into sorted runs for the reduce-side merge.
+// The per-record emit path acquires no locks: counters are resolved to
+// atomic cells up front and all sorters are owned by this task alone.
+func runMapTask(ctx context.Context, j *Job, taskID int, split Split, sealKeep int, counters *Counters) ([][]*extsort.Run, error) {
 	mapper := j.NewMapper()
 	tc := &TaskContext{
 		JobName: j.Name, TaskID: taskID, Phase: "map", Partition: -1,
@@ -339,8 +345,74 @@ func runMapTask(ctx context.Context, j *Job, taskID int, split Split, parts []*p
 	}
 	if s, ok := mapper.(TaskSetup); ok {
 		if err := s.Setup(tc); err != nil {
-			return fmt.Errorf("map task %d setup: %w", taskID, err)
+			return nil, fmt.Errorf("map task %d setup: %w", taskID, err)
 		}
+	}
+
+	mapOutRecs := counters.Counter(CounterMapOutputRecords)
+	mapOutBytes := counters.Counter(CounterMapOutputBytes)
+	shuffleBytes := counters.Counter(CounterReduceShuffleBytes)
+	spilled := counters.Counter(CounterSpilledRecords)
+	onSpill := func(n int) { spilled.Add(int64(n)) }
+
+	// Task-private per-partition output sorters, created on first use so
+	// tasks touching few partitions stay cheap. Each sorter's own budget
+	// is the full task budget; the shared accounting below usually
+	// triggers a graceful spill first.
+	out := make([]*extsort.Sorter, j.NumReducers)
+	discardOut := func() {
+		for _, s := range out {
+			if s != nil {
+				s.Discard()
+			}
+		}
+	}
+
+	// Shared task-level memory accounting: when the buffered bytes
+	// across all partition sorters exceed ShuffleMemory, spill the
+	// largest buffer to a sorted on-disk run (graceful degradation, like
+	// Hadoop's io.sort.mb buffer flush).
+	var buffered int
+	addOut := func(p int, key, value []byte) error {
+		s := out[p]
+		if s == nil {
+			s = extsort.NewSorter(extsort.Options{
+				MemoryBudget: j.ShuffleMemory,
+				TempDir:      j.TempDir,
+				Compare:      j.Compare,
+				OnSpill:      onSpill,
+			})
+			out[p] = s
+		}
+		before := s.MemoryInUse()
+		if err := s.Add(key, value); err != nil {
+			return err
+		}
+		buffered += s.MemoryInUse() - before
+		if buffered < j.ShuffleMemory {
+			return nil
+		}
+		// Spill largest-first until under half the budget. The
+		// hysteresis matters: evicting a single buffer per trigger
+		// would pin `buffered` at the budget when many partitions hold
+		// uniformly small buffers and degenerate into a per-record
+		// spill storm of tiny runs.
+		for buffered >= j.ShuffleMemory/2 {
+			big := -1
+			for q, sq := range out {
+				if sq != nil && (big < 0 || sq.MemoryInUse() > out[big].MemoryInUse()) {
+					big = q
+				}
+			}
+			if big < 0 || out[big].MemoryInUse() == 0 {
+				break
+			}
+			buffered -= out[big].MemoryInUse()
+			if err := out[big].Spill(); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	var local []*extsort.Sorter // per-partition combiner buffers
@@ -356,7 +428,7 @@ func runMapTask(ctx context.Context, j *Job, taskID int, split Split, parts []*p
 				MemoryBudget: per,
 				TempDir:      j.TempDir,
 				Compare:      j.Compare,
-				OnSpill:      func(n int) { counters.Add(CounterSpilledRecords, int64(n)) },
+				OnSpill:      onSpill,
 			})
 		}
 	}
@@ -367,10 +439,14 @@ func runMapTask(ctx context.Context, j *Job, taskID int, split Split, parts []*p
 			}
 		}
 	}
+	discardAll := func() {
+		discardLocal()
+		discardOut()
+	}
 
 	emit := Emit(func(key, value []byte) error {
-		counters.Add(CounterMapOutputRecords, 1)
-		counters.Add(CounterMapOutputBytes, int64(len(key)+len(value)))
+		mapOutRecs.Add(1)
+		mapOutBytes.Add(int64(len(key) + len(value)))
 		p := j.Partition(key, j.NumReducers)
 		if p < 0 || p >= j.NumReducers {
 			return fmt.Errorf("partitioner returned %d for %d reducers", p, j.NumReducers)
@@ -378,8 +454,8 @@ func runMapTask(ctx context.Context, j *Job, taskID int, split Split, parts []*p
 		if combine {
 			return local[p].Add(key, value)
 		}
-		counters.Add(CounterReduceShuffleBytes, int64(len(key)+len(value)))
-		return parts[p].add(key, value)
+		shuffleBytes.Add(int64(len(key) + len(value)))
+		return addOut(p, key, value)
 	})
 
 	var n int64
@@ -392,32 +468,73 @@ func runMapTask(ctx context.Context, j *Job, taskID int, split Split, parts []*p
 	})
 	counters.Add(CounterMapInputRecords, n)
 	if err != nil {
-		discardLocal()
-		return fmt.Errorf("map task %d: %w", taskID, err)
+		discardAll()
+		return nil, fmt.Errorf("map task %d: %w", taskID, err)
 	}
 	if c, ok := mapper.(TaskCleanup); ok {
 		if err := c.Cleanup(emit); err != nil {
-			discardLocal()
-			return fmt.Errorf("map task %d cleanup: %w", taskID, err)
+			discardAll()
+			return nil, fmt.Errorf("map task %d cleanup: %w", taskID, err)
 		}
 	}
 
-	if !combine {
-		return nil
-	}
-	// Run the combiner over each partition's sorted local output and
-	// feed the combined records into the shared shuffle.
-	for p, sorter := range local {
-		local[p] = nil
-		if err := combinePartition(ctx, j, taskID, p, sorter, parts[p], counters); err != nil {
-			discardLocal()
-			return fmt.Errorf("map task %d combine partition %d: %w", taskID, p, err)
+	if combine {
+		// Run the combiner over each partition's sorted local output and
+		// feed the combined records into the task's output sorters.
+		for p, sorter := range local {
+			local[p] = nil
+			add := func(key, value []byte) error { return addOut(p, key, value) }
+			if err := combinePartition(ctx, j, taskID, p, sorter, add, counters); err != nil {
+				discardAll()
+				return nil, fmt.Errorf("map task %d combine partition %d: %w", taskID, p, err)
+			}
 		}
 	}
-	return nil
+
+	// Seal each partition's sorter into its sorted runs and hand them
+	// off; from here the runs are owned by the caller (and ultimately by
+	// the reduce-side merge). Sealed in-memory runs stay resident until
+	// their reduce task consumes them, so when more map tasks exist than
+	// slots the remainders of finished tasks would accumulate past
+	// MapSlots×ShuffleMemory — in that case spill them to disk first
+	// (Hadoop's always-on-disk final map output, applied only when the
+	// bound is actually at risk).
+	sealStart := time.Now()
+	if buffered > sealKeep {
+		for _, s := range out {
+			if s != nil && s.MemoryInUse() > 0 {
+				if err := s.Spill(); err != nil {
+					discardAll()
+					return nil, fmt.Errorf("map task %d final spill: %w", taskID, err)
+				}
+			}
+		}
+	}
+	taskRuns := make([][]*extsort.Run, j.NumReducers)
+	var sealedRuns int64
+	for p, s := range out {
+		if s == nil {
+			continue
+		}
+		out[p] = nil
+		runs, err := s.Seal()
+		if err != nil {
+			discardRuns(taskRuns...)
+			discardAll()
+			return nil, fmt.Errorf("map task %d seal partition %d: %w", taskID, p, err)
+		}
+		taskRuns[p] = runs
+		sealedRuns += int64(len(runs))
+	}
+	counters.Add(CounterShuffleRuns, sealedRuns)
+	counters.Add(CounterShuffleMicros, time.Since(sealStart).Microseconds())
+	return taskRuns, nil
 }
 
-func combinePartition(ctx context.Context, j *Job, taskID, p int, sorter *extsort.Sorter, pc *partitionCollector, counters *Counters) error {
+// combinePartition sorts one partition's local map output, runs the
+// combiner over its groups, and forwards the combined records through
+// add into the task's shuffle output for that partition.
+func combinePartition(ctx context.Context, j *Job, taskID, p int, sorter *extsort.Sorter, add func(key, value []byte) error, counters *Counters) error {
 	combiner := j.NewCombiner()
 	tc := &TaskContext{
 		JobName: j.Name, TaskID: taskID, Phase: "combine", Partition: p,
@@ -433,10 +550,12 @@ func combinePartition(ctx context.Context, j *Job, taskID, p int, sorter *extsor
 		return err
 	}
 	defer it.Close()
+	combineOut := counters.Counter(CounterCombineOutputRecs)
+	shuffleBytes := counters.Counter(CounterReduceShuffleBytes)
 	emit := Emit(func(key, value []byte) error {
-		counters.Add(CounterCombineOutputRecs, 1)
-		counters.Add(CounterReduceShuffleBytes, int64(len(key)+len(value)))
-		return pc.add(key, value)
+		combineOut.Add(1)
+		shuffleBytes.Add(int64(len(key) + len(value)))
+		return add(key, value)
 	})
 	vals := newValues(it, j.GroupCompare)
 	for vals.nextGroup() {
@@ -459,7 +578,10 @@ func combinePartition(ctx context.Context, j *Job, taskID, p int, sorter *extsor
 	return nil
 }
 
-func runReduceTask(ctx context.Context, j *Job, p int, sorter *extsort.Sorter, sink Sink, counters *Counters) error {
+// runReduceTask multi-way merges every map task's sealed runs for
+// partition p and feeds the merged groups to the reducer. It takes
+// ownership of runs.
+func runReduceTask(ctx context.Context, j *Job, p int, runs []*extsort.Run, sink Sink, counters *Counters) error {
 	reducer := j.NewReducer()
 	tc := &TaskContext{
 		JobName: j.Name, TaskID: p, Phase: "reduce", Partition: p,
@@ -467,23 +589,30 @@ func runReduceTask(ctx context.Context, j *Job, p int, sorter *extsort.Sorter, s
 	}
 	if s, ok := reducer.(TaskSetup); ok {
 		if err := s.Setup(tc); err != nil {
+			discardRuns(runs)
 			return fmt.Errorf("reduce task %d setup: %w", p, err)
 		}
 	}
 	w, err := sink.Writer(p)
 	if err != nil {
+		discardRuns(runs)
 		return fmt.Errorf("reduce task %d: sink writer: %w", p, err)
 	}
+	reduceOutRecs := counters.Counter(CounterReduceOutputRecs)
+	reduceOutBytes := counters.Counter(CounterReduceOutputBytes)
 	emit := Emit(func(key, value []byte) error {
-		counters.Add(CounterReduceOutputRecs, 1)
-		counters.Add(CounterReduceOutputBytes, int64(len(key)+len(value)))
+		reduceOutRecs.Add(1)
+		reduceOutBytes.Add(int64(len(key) + len(value)))
 		return w.Write(key, value)
 	})
-	it, err := sorter.Sort()
+	mergeStart := time.Now()
+	counters.Add(CounterMergeFanIn, int64(len(runs)))
+	it, err := extsort.MergeRuns(j.Compare, runs) // takes ownership of runs
 	if err != nil {
 		w.Close()
-		return fmt.Errorf("reduce task %d: sort: %w", p, err)
+		return fmt.Errorf("reduce task %d: open merge: %w", p, err)
 	}
+	counters.Add(CounterShuffleMicros, time.Since(mergeStart).Microseconds())
 	defer it.Close()
 
 	vals := newValues(it, j.GroupCompare)
@@ -534,9 +663,11 @@ func runMapOnly(ctx context.Context, j *Job, splits []Split, sink Sink, counters
 		if err != nil {
 			return fmt.Errorf("map task %d: sink writer: %w", taskID, err)
 		}
+		mapOutRecs := counters.Counter(CounterMapOutputRecords)
+		mapOutBytes := counters.Counter(CounterMapOutputBytes)
 		emit := Emit(func(key, value []byte) error {
-			counters.Add(CounterMapOutputRecords, 1)
-			counters.Add(CounterMapOutputBytes, int64(len(key)+len(value)))
+			mapOutRecs.Add(1)
+			mapOutBytes.Add(int64(len(key) + len(value)))
 			return w.Write(key, value)
 		})
 		var n int64

@@ -459,7 +459,7 @@ func TestShuffleSpillsStillCorrect(t *testing.T) {
 		NewMapper:     func() Mapper { return wcMapper{} },
 		NewReducer:    func() Reducer { return sumReducer{} },
 		NumReducers:   2,
-		ShuffleMemory: 1, // clamped to the 1 MiB floor per partition
+		ShuffleMemory: 1, // clamped up to the 64 KiB per-task floor
 		TempDir:       t.TempDir(),
 	})
 	if err != nil {

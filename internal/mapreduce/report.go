@@ -18,9 +18,16 @@ type JobSummary struct {
 	ShuffleBytes  int64
 	OutputRecords int64
 	Spilled       int64
-	MapPhase      time.Duration
-	ReducePhase   time.Duration
-	Wallclock     time.Duration
+	// SealedRuns is the number of sorted runs map tasks handed off to
+	// the reduce-side merge; MergeFanIn is the summed width of all
+	// reduce-side merges; ShuffleTime is the cumulative time tasks spent
+	// sealing runs and opening merges.
+	SealedRuns  int64
+	MergeFanIn  int64
+	ShuffleTime time.Duration
+	MapPhase    time.Duration
+	ReducePhase time.Duration
+	Wallclock   time.Duration
 }
 
 // Summary extracts the per-job account from a Result.
@@ -36,6 +43,9 @@ func Summary(name string, r *Result) JobSummary {
 		ShuffleBytes:  c.Get(CounterReduceShuffleBytes),
 		OutputRecords: c.Get(CounterReduceOutputRecs),
 		Spilled:       c.Get(CounterSpilledRecords),
+		SealedRuns:    c.Get(CounterShuffleRuns),
+		MergeFanIn:    c.Get(CounterMergeFanIn),
+		ShuffleTime:   time.Duration(c.Get(CounterShuffleMicros)) * time.Microsecond,
 		MapPhase:      time.Duration(c.Get(CounterMapPhaseMillis)) * time.Millisecond,
 		ReducePhase:   time.Duration(c.Get(CounterReducePhaseMillis)) * time.Millisecond,
 		Wallclock:     r.Wallclock,
@@ -46,23 +56,24 @@ func Summary(name string, r *Result) JobSummary {
 // per job plus an aggregate line.
 func (d *Driver) Report() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-28s %5s %5s %12s %12s %12s %12s %10s\n",
-		"job", "maps", "reds", "in-recs", "map-out", "shuffle-B", "out-recs", "wallclock")
+	fmt.Fprintf(&sb, "%-28s %5s %5s %12s %12s %12s %12s %6s %10s\n",
+		"job", "maps", "reds", "in-recs", "map-out", "shuffle-B", "out-recs", "runs", "wallclock")
 	var totalWall time.Duration
-	var totIn, totOut, totMapOut, totShuffle int64
+	var totIn, totOut, totMapOut, totShuffle, totRuns int64
 	for i, r := range d.JobResults {
 		s := Summary(fmt.Sprintf("#%d", i+1), r)
-		fmt.Fprintf(&sb, "%-28s %5d %5d %12d %12d %12d %12d %10s\n",
+		fmt.Fprintf(&sb, "%-28s %5d %5d %12d %12d %12d %12d %6d %10s\n",
 			s.Name, s.MapTasks, s.ReduceTasks, s.InputRecords, s.MapOutRecords,
-			s.ShuffleBytes, s.OutputRecords, s.Wallclock.Round(time.Millisecond))
+			s.ShuffleBytes, s.OutputRecords, s.SealedRuns, s.Wallclock.Round(time.Millisecond))
 		totalWall += s.Wallclock
 		totIn += s.InputRecords
 		totOut += s.OutputRecords
 		totMapOut += s.MapOutRecords
 		totShuffle += s.ShuffleBytes
+		totRuns += s.SealedRuns
 	}
-	fmt.Fprintf(&sb, "%-28s %5s %5s %12d %12d %12d %12d %10s\n",
-		"TOTAL", "", "", totIn, totMapOut, totShuffle, totOut,
+	fmt.Fprintf(&sb, "%-28s %5s %5s %12d %12d %12d %12d %6d %10s\n",
+		"TOTAL", "", "", totIn, totMapOut, totShuffle, totOut, totRuns,
 		totalWall.Round(time.Millisecond))
 	return sb.String()
 }
