@@ -57,7 +57,7 @@ func benchParams(b *testing.B, tau int64, sigma int) core.Params {
 // as custom benchmark metrics.
 func runMethod(b *testing.B, col *corpus.Collection, m core.Method, p core.Params) {
 	b.Helper()
-	var records, bytes, output int64
+	var records, bytes, shuffle, output int64
 	for i := 0; i < b.N; i++ {
 		run, err := core.Compute(context.Background(), col, m, p)
 		if err != nil {
@@ -65,6 +65,7 @@ func runMethod(b *testing.B, col *corpus.Collection, m core.Method, p core.Param
 		}
 		records = run.RecordsTransferred()
 		bytes = run.BytesTransferred()
+		shuffle = run.ShuffleBytesWritten()
 		output = run.Result.Len()
 		if err := run.Result.Release(); err != nil {
 			b.Fatal(err)
@@ -72,6 +73,7 @@ func runMethod(b *testing.B, col *corpus.Collection, m core.Method, p core.Param
 	}
 	b.ReportMetric(float64(records), "records/op")
 	b.ReportMetric(float64(bytes)/(1<<20), "MBtransfer/op")
+	b.ReportMetric(float64(shuffle)/(1<<20), "shuffleMB/op")
 	b.ReportMetric(float64(output), "ngrams/op")
 }
 

@@ -1,0 +1,188 @@
+// Command benchdiff compares `go test -bench` output against a
+// checked-in baseline and fails when performance regresses beyond a
+// threshold. It is the CI benchmark-regression gate.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -count=5 ./... | benchdiff -baseline BENCH_BASELINE.json
+//	go test -run='^$' -bench=. -count=5 ./... | benchdiff -baseline BENCH_BASELINE.json -update
+//
+// Each benchmark's ns/op is reduced to the minimum across -count
+// repetitions (the least-noisy estimator of the code's true cost); the
+// gate is the geometric mean of the current/baseline ratios across all
+// benchmarks present in both sets, so a single noisy benchmark cannot
+// fail the build but a broad slowdown will. Individual regressions
+// beyond the threshold are listed either way. New benchmarks (absent
+// from the baseline) and retired ones are reported but never fail the
+// gate; refresh the baseline with -update when benchmarks or expected
+// performance change intentionally.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the checked-in performance reference.
+type Baseline struct {
+	// Note documents how to refresh the file.
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to
+	// its minimum ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench` result lines:
+//
+//	BenchmarkName-8    100    123456 ns/op    4.5 MB/s ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op`)
+
+// parseBench extracts the minimum ns/op per benchmark name from go
+// test -bench output.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// geomean returns the geometric mean of xs (1.0 for an empty slice).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1.0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// compare evaluates current against baseline and renders a report.
+// It returns the geomean ratio over benchmarks common to both.
+func compare(w io.Writer, baseline, current map[string]float64, threshold float64) (float64, bool) {
+	var names []string
+	for name := range current {
+		if _, ok := baseline[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var ratios []float64
+	fmt.Fprintf(w, "%-70s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, name := range names {
+		ratio := current[name] / baseline[name]
+		ratios = append(ratios, ratio)
+		marker := ""
+		if ratio > threshold {
+			marker = "  << regression"
+		}
+		fmt.Fprintf(w, "%-70s %14.0f %14.0f %7.3fx%s\n", name, baseline[name], current[name], ratio, marker)
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			fmt.Fprintf(w, "%-70s %14s %14.0f   (new, not gated)\n", name, "-", current[name])
+		}
+	}
+	for name := range baseline {
+		if _, ok := current[name]; !ok {
+			fmt.Fprintf(w, "%-70s %14.0f %14s   (missing from current run)\n", name, baseline[name], "-")
+		}
+	}
+	gm := geomean(ratios)
+	ok := gm <= threshold
+	if len(ratios) == 0 {
+		// No overlap between baseline and current means the gate is
+		// measuring nothing — a renamed benchmark set must not read as
+		// a pass; refresh the baseline instead.
+		ok = false
+		fmt.Fprintf(w, "\nno benchmarks overlap the baseline — gate cannot evaluate; refresh the baseline with -update\n")
+		return gm, ok
+	}
+	fmt.Fprintf(w, "\ngeomean ratio over %d benchmarks: %.3fx (threshold %.2fx) — %s\n",
+		len(ratios), gm, threshold, map[bool]string{true: "OK", false: "REGRESSION"}[ok])
+	return gm, ok
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON file")
+	inputPath := flag.String("input", "-", "bench output file ('-' for stdin)")
+	threshold := flag.Float64("threshold", 1.15, "maximum allowed geomean current/baseline ratio")
+	update := flag.Bool("update", false, "rewrite the baseline from the current run instead of comparing")
+	note := flag.String("note", "", "note stored in the baseline on -update")
+	flag.Parse()
+
+	in := os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: parse input:", err)
+		os.Exit(2)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark results in input")
+		os.Exit(2)
+	}
+
+	if *update {
+		b := Baseline{Note: *note, Benchmarks: current}
+		if b.Note == "" {
+			b.Note = "min ns/op per benchmark; refresh with: go test -run='^$' -bench=<gated set> -count=5, then benchdiff -update"
+		}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *baselinePath, len(current))
+		return
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	var baseline Baseline
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff: parse baseline:", err)
+		os.Exit(2)
+	}
+	if _, ok := compare(os.Stdout, baseline.Benchmarks, current, *threshold); !ok {
+		os.Exit(1)
+	}
+}

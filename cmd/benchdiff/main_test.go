@@ -1,0 +1,88 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ngramstats
+BenchmarkFig7ScalingSlots/slots=1-8         	      18	  61000000 ns/op	        123 records/op
+BenchmarkFig7ScalingSlots/slots=1-8         	      20	  58000000 ns/op	        123 records/op
+BenchmarkFig7ScalingSlots/slots=2-8         	      20	  59500000 ns/op
+BenchmarkSortInMemory   	     500	   2400000 ns/op
+BenchmarkSortInMemory   	     480	   2500000 ns/op
+BenchmarkEmitRecord-4 	 5000000	       251.5 ns/op
+PASS
+ok  	ngramstats	12.3s
+`
+
+func TestParseBenchTakesMinAndStripsProcs(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFig7ScalingSlots/slots=1": 58000000,
+		"BenchmarkFig7ScalingSlots/slots=2": 59500000,
+		"BenchmarkSortInMemory":             2400000,
+		"BenchmarkEmitRecord":               251.5,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean(nil); g != 1.0 {
+		t.Fatalf("geomean(nil) = %v", g)
+	}
+	if g := geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Fatalf("geomean(2,8) = %v, want 4", g)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	baseline := map[string]float64{"A": 100, "B": 100, "C": 100}
+
+	// Broad slowdown beyond threshold fails.
+	var sb strings.Builder
+	gm, ok := compare(&sb, baseline, map[string]float64{"A": 120, "B": 120, "C": 120}, 1.15)
+	if ok || math.Abs(gm-1.2) > 1e-9 {
+		t.Fatalf("broad 20%% regression passed the gate (gm=%v ok=%v)", gm, ok)
+	}
+
+	// One noisy benchmark amid stable ones passes (geomean gating).
+	gm, ok = compare(&sb, baseline, map[string]float64{"A": 130, "B": 100, "C": 100}, 1.15)
+	if !ok {
+		t.Fatalf("single noisy benchmark failed the gate (gm=%v)", gm)
+	}
+
+	// Improvements pass.
+	if _, ok = compare(&sb, baseline, map[string]float64{"A": 80, "B": 90, "C": 100}, 1.15); !ok {
+		t.Fatal("improvement failed the gate")
+	}
+
+	// New and retired benchmarks are reported but not gated.
+	out := &strings.Builder{}
+	_, ok = compare(out, baseline, map[string]float64{"A": 100, "B": 100, "D": 999}, 1.15)
+	if !ok {
+		t.Fatal("new/retired benchmarks affected the gate")
+	}
+	if !strings.Contains(out.String(), "new, not gated") || !strings.Contains(out.String(), "missing from current run") {
+		t.Fatalf("report does not mention new/retired benchmarks:\n%s", out.String())
+	}
+
+	// Zero overlap (renamed benchmark set) must FAIL, not silently pass
+	// with an empty geomean.
+	if _, ok = compare(&sb, baseline, map[string]float64{"X": 1, "Y": 2}, 1.15); ok {
+		t.Fatal("disjoint benchmark sets passed the gate")
+	}
+}

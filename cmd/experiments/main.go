@@ -33,6 +33,7 @@ import (
 
 	"ngramstats/internal/core"
 	"ngramstats/internal/corpus"
+	"ngramstats/internal/extsort"
 	"ngramstats/internal/mapreduce"
 	"ngramstats/internal/sequence"
 	"ngramstats/internal/stats"
@@ -48,6 +49,7 @@ type config struct {
 	splits   int
 	tempDir  string
 	csvDir   string
+	codec    extsort.Codec
 	verbose  bool
 }
 
@@ -62,6 +64,7 @@ func main() {
 	flag.IntVar(&cfg.splits, "splits", 16, "map tasks over the corpus")
 	flag.StringVar(&cfg.tempDir, "tmp", "", "scratch directory for shuffle spills")
 	flag.StringVar(&cfg.csvDir, "csv", "", "directory for CSV output (optional)")
+	codec := flag.String("codec", "raw", "shuffle block codec: raw | flate (per-block DEFLATE on top of front-coding)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log per-job progress")
 	quick := flag.Bool("quick", false, "small corpora for a fast smoke run")
 	nytDir := flag.String("nytdir", "", "load the NYT-like corpus from a corpusgen directory instead of generating")
@@ -70,6 +73,15 @@ func main() {
 
 	if *quick {
 		cfg.nytDocs, cfg.cwDocs = 400, 900
+	}
+	switch *codec {
+	case "raw":
+		cfg.codec = extsort.CodecRaw
+	case "flate":
+		cfg.codec = extsort.CodecFlate
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown -codec %q (want raw or flate)\n", *codec)
+		os.Exit(2)
 	}
 
 	start := time.Now()
@@ -123,14 +135,15 @@ func main() {
 // params builds core.Params for an experiment run.
 func (c *config) params(tau int64, sigma, slots int) core.Params {
 	p := core.Params{
-		Tau:         tau,
-		Sigma:       sigma,
-		NumReducers: c.reducers,
-		MapSlots:    slots,
-		ReduceSlots: slots,
-		InputSplits: c.splits,
-		TempDir:     c.tempDir,
-		Combiner:    true,
+		Tau:          tau,
+		Sigma:        sigma,
+		NumReducers:  c.reducers,
+		MapSlots:     slots,
+		ReduceSlots:  slots,
+		InputSplits:  c.splits,
+		TempDir:      c.tempDir,
+		ShuffleCodec: c.codec,
+		Combiner:     true,
 	}
 	if c.verbose {
 		p.Logf = func(format string, args ...any) {
@@ -153,6 +166,7 @@ func measure(ctx context.Context, col *corpus.Collection, m core.Method, p core.
 	out.Sigma = p.Sigma
 	out.Wallclock = run.Wallclock
 	out.Bytes = run.BytesTransferred()
+	out.ShuffleBytes = run.ShuffleBytesWritten()
 	out.Records = run.RecordsTransferred()
 	out.Jobs = run.Jobs
 	out.Output = run.Result.Len()
@@ -264,9 +278,9 @@ func fig3(ctx context.Context, cfg *config, nyt, cw *corpus.Collection) error {
 					return err
 				}
 				table.Add(meas)
-				fmt.Printf("  [%s] %-16s %-14s τ=%-5d σ=%-4d %10v  %12d bytes %10d records %3d jobs %8d n-grams\n",
+				fmt.Printf("  [%s] %-16s %-14s τ=%-5d σ=%-4d %10v  %12d bytes %12d shuffle-B %10d records %3d jobs %8d n-grams\n",
 					col.Name, uc.label, m, uc.tau, uc.sigma,
-					meas.Wallclock.Round(time.Millisecond), meas.Bytes, meas.Records, meas.Jobs, meas.Output)
+					meas.Wallclock.Round(time.Millisecond), meas.Bytes, meas.ShuffleBytes, meas.Records, meas.Jobs, meas.Output)
 			}
 		}
 	}
@@ -306,6 +320,7 @@ func fig4(ctx context.Context, cfg *config, nyt, cw *corpus.Collection) error {
 	}
 	fmt.Println(table.Render("wallclock"))
 	fmt.Println(table.Render("bytes"))
+	fmt.Println(table.Render("shuffle"))
 	fmt.Println(table.Render("records"))
 	return writeCSV(cfg, "fig4", table)
 }
@@ -329,6 +344,7 @@ func fig5(ctx context.Context, cfg *config, nyt, cw *corpus.Collection) error {
 	}
 	fmt.Println(table.Render("wallclock"))
 	fmt.Println(table.Render("bytes"))
+	fmt.Println(table.Render("shuffle"))
 	fmt.Println(table.Render("records"))
 	return writeCSV(cfg, "fig5", table)
 }
@@ -354,6 +370,7 @@ func fig6(ctx context.Context, cfg *config, nyt, cw *corpus.Collection) error {
 		}
 	}
 	fmt.Println(table.Render("wallclock"))
+	fmt.Println(table.Render("shuffle"))
 	return writeCSV(cfg, "fig6", table)
 }
 
@@ -381,6 +398,7 @@ func fig7(ctx context.Context, cfg *config, nyt, cw *corpus.Collection) error {
 		}
 	}
 	fmt.Println(table.Render("wallclock"))
+	fmt.Println(table.Render("shuffle"))
 	return writeCSV(cfg, "fig7", table)
 }
 
@@ -410,9 +428,9 @@ func ablation(ctx context.Context, cfg *config, nyt, cw *corpus.Collection) erro
 		if err != nil {
 			return err
 		}
-		shuffle := run.Counters.Get(mapreduce.CounterReduceShuffleBytes)
-		fmt.Printf("    combiner=%-5v %10v  map-output %12d bytes  shuffled %12d bytes\n",
-			combine, run.Wallclock.Round(time.Millisecond), run.BytesTransferred(), shuffle)
+		logical := run.Counters.Get(mapreduce.CounterReduceShuffleBytes)
+		fmt.Printf("    combiner=%-5v %10v  map-output %12d bytes  shuffled %12d logical-B %12d wire-B\n",
+			combine, run.Wallclock.Round(time.Millisecond), run.BytesTransferred(), logical, run.ShuffleBytesWritten())
 		if err := run.Result.Release(); err != nil {
 			return err
 		}

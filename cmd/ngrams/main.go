@@ -112,8 +112,8 @@ func main() {
 		}
 	}
 	if *stats {
-		fmt.Printf("\njobs=%d wallclock=%v bytes=%d records=%d\n",
-			result.Jobs(), result.Wallclock(), result.BytesTransferred(), result.RecordsTransferred())
+		fmt.Printf("\njobs=%d wallclock=%v bytes=%d shuffle-bytes=%d records=%d\n",
+			result.Jobs(), result.Wallclock(), result.BytesTransferred(), result.ShuffleBytes(), result.RecordsTransferred())
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"ngramstats/internal/corpus"
 	"ngramstats/internal/encoding"
+	"ngramstats/internal/extsort"
 	"ngramstats/internal/mapreduce"
 	"ngramstats/internal/sequence"
 )
@@ -113,6 +114,11 @@ type Params struct {
 	// APRIORI-INDEX's join; beyond it they spill to disk (Section III-B).
 	// Zero selects 64 MiB.
 	JoinMemory int
+	// ShuffleCodec selects optional per-block compression of shuffle
+	// runs on top of the run format's front-coding (extsort.CodecRaw by
+	// default). extsort.CodecFlate trades CPU for smaller transfer and
+	// suits NAÏVE/APRIORI runs whose values compress well.
+	ShuffleCodec extsort.Codec
 	// Logf, if non-nil, receives progress messages.
 	Logf func(format string, args ...any)
 }
@@ -141,12 +147,13 @@ func (p Params) withDefaults() Params {
 
 func (p Params) job(name string) *mapreduce.Job {
 	return &mapreduce.Job{
-		Name:        name,
-		NumReducers: p.NumReducers,
-		MapSlots:    p.MapSlots,
-		ReduceSlots: p.ReduceSlots,
-		TempDir:     p.TempDir,
-		Logf:        p.Logf,
+		Name:         name,
+		NumReducers:  p.NumReducers,
+		MapSlots:     p.MapSlots,
+		ReduceSlots:  p.ReduceSlots,
+		TempDir:      p.TempDir,
+		ShuffleCodec: p.ShuffleCodec,
+		Logf:         p.Logf,
 	}
 }
 
@@ -177,6 +184,22 @@ func (r *Run) BytesTransferred() int64 {
 // MAP_OUTPUT_RECORDS aggregated over all jobs.
 func (r *Run) RecordsTransferred() int64 {
 	return r.Counters.Get(mapreduce.CounterMapOutputRecords)
+}
+
+// ShuffleBytesWritten returns the measured shuffle transfer aggregated
+// over all jobs: encoded run-format bytes map tasks handed to the
+// reduce side (SHUFFLE_BYTES_WRITTEN), after front-coding and any
+// block codec — the real counterpart of the paper's "bytes
+// transferred" rather than the logical key+value estimate.
+func (r *Run) ShuffleBytesWritten() int64 {
+	return r.Counters.Get(mapreduce.CounterShuffleBytesWritten)
+}
+
+// ShuffleBytesRead returns the encoded run-format bytes reduce-side
+// merges consumed, aggregated over all jobs. On fully drained jobs it
+// equals ShuffleBytesWritten.
+func (r *Run) ShuffleBytesRead() int64 {
+	return r.Counters.Get(mapreduce.CounterShuffleBytesRead)
 }
 
 // ResultSet is a computed set of n-gram statistics backed by a job

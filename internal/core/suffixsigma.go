@@ -72,11 +72,14 @@ func computeSuffixSigma(ctx context.Context, col *corpus.Collection, p Params) (
 // FirstTermPartitioner assigns an encoded sequence key to a reducer
 // based on its first term only (the partition-function of Algorithm 4),
 // guaranteeing that a single reducer receives all suffixes that begin
-// with the same term.
+// with the same term. A key whose first term does not parse is
+// reported as malformed: the runtime counts it in MALFORMED_KEYS and
+// fails the job, instead of the old behaviour of silently routing it
+// to partition 0.
 func FirstTermPartitioner(key []byte, r int) int {
 	t, err := encoding.FirstTerm(key)
 	if err != nil {
-		return 0
+		return mapreduce.MalformedKeyPartition
 	}
 	return int(mix32(uint32(t)) % uint32(r))
 }

@@ -279,8 +279,9 @@ func TestFirstTermPartitionerConsistency(t *testing.T) {
 			}
 		}
 	}
-	// Malformed key falls back to partition 0 rather than panicking.
-	if p := FirstTermPartitioner([]byte{0x80}, 5); p != 0 {
-		t.Fatalf("malformed key partition = %d", p)
+	// Malformed key is reported via the sentinel so the runtime can
+	// count it and fail the job, rather than silently landing on 0.
+	if p := FirstTermPartitioner([]byte{0x80}, 5); p != mapreduce.MalformedKeyPartition {
+		t.Fatalf("malformed key partition = %d, want MalformedKeyPartition", p)
 	}
 }

@@ -22,11 +22,8 @@ import (
 	"bytes"
 	"container/heap"
 	"fmt"
-	"io"
 	"os"
 	"sort"
-
-	"ngramstats/internal/encoding"
 )
 
 // Compare orders two keys. Negative means a sorts before b.
@@ -47,6 +44,13 @@ type Options struct {
 	// OnSpill, if non-nil, is invoked with the number of records in each
 	// spilled run (for SPILLED_RECORDS-style counters).
 	OnSpill func(records int)
+	// Codec selects the optional per-block compression of sealed runs
+	// and spill files. Default is CodecRaw (front-coding only).
+	Codec Codec
+	// Stats, if non-nil, accumulates measured run-format byte transfer:
+	// encoded bytes this sorter writes (spills and sealed in-memory
+	// runs) and encoded bytes later read back by merges over its runs.
+	Stats *IOStats
 }
 
 type record struct {
@@ -133,14 +137,21 @@ func (s *Sorter) spill() error {
 	}
 	s.spillID++
 	w := bufio.NewWriterSize(f, 256<<10)
+	rw := newRunWriter(w, s.opts.Codec, 0)
 	for _, r := range s.recs {
 		key := s.arena[r.keyOff : r.keyOff+r.keyLen]
 		val := s.arena[r.valOff : r.valOff+r.valLen]
-		if err := encoding.WriteRecord(w, key, val); err != nil {
+		if err := rw.append(key, val); err != nil {
 			f.Close()
 			os.Remove(f.Name())
 			return fmt.Errorf("extsort: write spill: %w", err)
 		}
+	}
+	written, err := rw.finish()
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("extsort: finish spill: %w", err)
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()
@@ -151,6 +162,7 @@ func (s *Sorter) spill() error {
 		os.Remove(f.Name())
 		return fmt.Errorf("extsort: close spill: %w", err)
 	}
+	s.opts.Stats.addWritten(written)
 	if s.opts.OnSpill != nil {
 		s.opts.OnSpill(len(s.recs))
 	}
@@ -187,7 +199,7 @@ func (s *Sorter) Sort() (*Iterator, error) {
 		srcs = append(srcs, &memSource{arena: s.arena, recs: s.recs})
 	}
 	for _, sp := range s.spills {
-		fs, err := newFileSource(sp.path)
+		fs, err := openFileRunSource(sp.path, s.opts.Stats, s.cmp, nil, nil)
 		if err != nil {
 			for _, src := range srcs {
 				src.close()
@@ -265,43 +277,48 @@ func (m *memSource) value() []byte {
 
 func (m *memSource) close() {}
 
-type fileSource struct {
-	path string
-	f    *os.File
-	rr   *encoding.RecordReader
-	k, v []byte
-}
-
-func newFileSource(path string) (*fileSource, error) {
+// openFileRunSource opens a block source over a run file. The source
+// owns the file: close() both closes and unlinks it.
+func openFileRunSource(path string, stats *IOStats, cmp Compare, lo, hi []byte) (source, error) {
 	f, err := os.Open(path)
 	if err != nil {
+		os.Remove(path) // ownership passed to this source even on error
 		return nil, fmt.Errorf("extsort: open spill: %w", err)
 	}
-	return &fileSource{
-		path: path,
-		f:    f,
-		rr:   encoding.NewRecordReader(bufio.NewReaderSize(f, 256<<10)),
-	}, nil
-}
-
-func (fs *fileSource) next() (bool, error) {
-	k, v, err := fs.rr.Next()
-	if err == io.EOF {
-		return false, nil
-	}
+	st, err := f.Stat()
 	if err != nil {
-		return false, err
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("extsort: stat spill: %w", err)
 	}
-	fs.k, fs.v = k, v
-	return true, nil
+	readAt := func(off int64, n int) ([]byte, error) {
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, off); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	cleanup := func() { os.Remove(path) }
+	src, err := newBlockSource(st.Size(), readAt, &fileFetcher{f: f}, stats, cmp, lo, hi, cleanup)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: open run %s: %w", path, err)
+	}
+	return src, nil
 }
 
-func (fs *fileSource) key() []byte   { return fs.k }
-func (fs *fileSource) value() []byte { return fs.v }
-
-func (fs *fileSource) close() {
-	fs.f.Close()
-	os.Remove(fs.path)
+// openMemRunSource opens a block source over an encoded in-memory run.
+func openMemRunSource(data []byte, stats *IOStats, cmp Compare, lo, hi []byte) (source, error) {
+	readAt := func(off int64, n int) ([]byte, error) {
+		if off < 0 || off+int64(n) > int64(len(data)) {
+			return nil, corruptf("region [%d,+%d) outside run of %d bytes", off, n, len(data))
+		}
+		return data[off : off+int64(n) : off+int64(n)], nil
+	}
+	src, err := newBlockSource(int64(len(data)), readAt, &memFetcher{data: data}, stats, cmp, lo, hi, nil)
+	if err != nil {
+		return nil, fmt.Errorf("extsort: open in-memory run: %w", err)
+	}
+	return src, nil
 }
 
 type heapEntry struct {

@@ -1,27 +1,29 @@
 package extsort
 
 import (
+	"bytes"
 	"container/heap"
 	"fmt"
 	"os"
 )
 
-// Run is a sealed, immutable sorted run of records: either the sorter's
-// final in-memory buffer or one on-disk spill file. Runs are the
-// hand-off unit of the map-side shuffle: each map task seals its
-// per-partition sorters into runs, and each reduce task merges every
-// map task's runs for its partition with MergeRuns.
+// Run is a sealed, immutable sorted run of records in the block-framed
+// run format (see format.go): either an encoded in-memory buffer or
+// one on-disk spill file. Runs are the hand-off unit of the map-side
+// shuffle: each map task seals its per-partition sorters into runs,
+// and each reduce task merges every map task's runs for its partition
+// with MergeRuns.
 //
 // A Run owns its backing resources (the spill file, if on disk) until
 // ownership passes to a merge iterator via MergeRuns or the run is
 // released with Discard.
 type Run struct {
-	// In-memory run (arena/recs) or on-disk run (path); exactly one is
-	// populated.
-	arena []byte
-	recs  []record
+	// Encoded in-memory run (data) or on-disk run (path); exactly one
+	// is populated.
+	data  []byte
 	path  string
 	n     int
+	stats *IOStats // the sealing sorter's stats; merges account reads here
 }
 
 // Len returns the number of records in the run. For on-disk runs this
@@ -32,38 +34,41 @@ func (r *Run) Len() int { return r.n }
 // spill file.
 func (r *Run) InMemory() bool { return r.path == "" }
 
-// Bytes returns the approximate byte size of the run's record data in
-// memory (zero for on-disk runs).
-func (r *Run) Bytes() int { return len(r.arena) }
+// Bytes returns the encoded byte size of the run's data in memory
+// (zero for on-disk runs).
+func (r *Run) Bytes() int { return len(r.data) }
 
-// Discard releases the run's resources. It is a no-op for in-memory
-// runs and for runs whose ownership has passed to a merge iterator.
+// Discard releases the run's resources. It is a no-op for runs whose
+// ownership has passed to a merge iterator.
 func (r *Run) Discard() {
 	if r.path != "" {
 		os.Remove(r.path)
 		r.path = ""
 	}
-	r.arena = nil
-	r.recs = nil
+	r.data = nil
 }
 
-// source returns a stream over the run's records, in sorted order.
-func (r *Run) source() (source, error) {
+// source returns a stream over the run's records in sorted order,
+// restricted to [lo, hi) under cmp when bounds are given (nil bounds
+// stream everything).
+func (r *Run) source(cmp Compare, lo, hi []byte) (source, error) {
 	if r.path == "" {
-		return &memSource{arena: r.arena, recs: r.recs}, nil
+		return openMemRunSource(r.data, r.stats, cmp, lo, hi)
 	}
-	return newFileSource(r.path)
+	return openFileRunSource(r.path, r.stats, cmp, lo, hi)
 }
 
 // Seal finalizes the sorter into its sealed sorted runs without merging
-// them: the in-memory buffer is sorted and becomes one in-memory run,
-// and each spill file becomes one on-disk run. Ownership of all backing
-// resources passes to the returned runs. After Seal, Add and Sort must
-// not be called.
+// them: the in-memory buffer is sorted and encoded into one in-memory
+// run in the block-framed run format, and each spill file becomes one
+// on-disk run. Ownership of all backing resources passes to the
+// returned runs. After Seal, Add and Sort must not be called.
 //
 // Seal is the map-task half of the shuffle hand-off: it costs no disk
 // I/O beyond spills that already happened, so small map outputs travel
-// to the reduce-side merge entirely in memory.
+// to the reduce-side merge entirely in memory — front-coded, so the
+// resident hand-off bytes (and the measured transfer) shrink with the
+// keys' shared prefixes.
 func (s *Sorter) Seal() ([]*Run, error) {
 	if s.closed {
 		return nil, fmt.Errorf("extsort: Seal after Sort or Seal")
@@ -73,10 +78,24 @@ func (s *Sorter) Seal() ([]*Run, error) {
 
 	var runs []*Run
 	for _, sp := range s.spills {
-		runs = append(runs, &Run{path: sp.path, n: sp.recs})
+		runs = append(runs, &Run{path: sp.path, n: sp.recs, stats: s.opts.Stats})
 	}
 	if len(s.recs) > 0 {
-		runs = append(runs, &Run{arena: s.arena, recs: s.recs, n: len(s.recs)})
+		var buf bytes.Buffer
+		rw := newRunWriter(&buf, s.opts.Codec, 0)
+		for _, r := range s.recs {
+			key := s.arena[r.keyOff : r.keyOff+r.keyLen]
+			val := s.arena[r.valOff : r.valOff+r.valLen]
+			if err := rw.append(key, val); err != nil {
+				return nil, fmt.Errorf("extsort: seal in-memory run: %w", err)
+			}
+		}
+		written, err := rw.finish()
+		if err != nil {
+			return nil, fmt.Errorf("extsort: seal in-memory run: %w", err)
+		}
+		s.opts.Stats.addWritten(written)
+		runs = append(runs, &Run{data: buf.Bytes(), n: len(s.recs), stats: s.opts.Stats})
 	}
 	s.spills = nil
 	s.arena = nil
@@ -92,16 +111,29 @@ func (s *Sorter) Seal() ([]*Run, error) {
 // closed; the Run values themselves are emptied, so a later Discard on
 // them is a no-op. Zero runs yield an empty iterator.
 func MergeRuns(cmp Compare, runs []*Run) (*Iterator, error) {
+	return MergeRunsRange(cmp, runs, nil, nil)
+}
+
+// MergeRunsRange is MergeRuns restricted to keys in [lo, hi) under cmp
+// (a nil bound is unbounded). Each run's footer index is consulted to
+// skip whole blocks outside the range, so a reader that needs one key
+// range of a large spilled run decodes only the blocks that can
+// contain it.
+func MergeRunsRange(cmp Compare, runs []*Run, lo, hi []byte) (*Iterator, error) {
 	if cmp == nil {
 		cmp = defaultCompare
 	}
 	it := &Iterator{cmp: cmp}
 	it.h.cmp = cmp
 	for i, r := range runs {
-		src, err := r.source()
+		src, err := r.source(cmp, lo, hi)
 		if err != nil {
 			it.Close()
-			for _, rest := range runs[i:] {
+			// The failed run's resources were already released by the
+			// source constructor; discard the rest.
+			r.path = ""
+			r.data = nil
+			for _, rest := range runs[i+1:] {
 				rest.Discard()
 			}
 			return nil, err
@@ -109,8 +141,7 @@ func MergeRuns(cmp Compare, runs []*Run) (*Iterator, error) {
 		// Ownership of the backing resources is now with src; empty the
 		// Run so a stray Discard cannot unlink a file mid-merge.
 		r.path = ""
-		r.arena = nil
-		r.recs = nil
+		r.data = nil
 		ok, err := src.next()
 		if err != nil {
 			src.close()

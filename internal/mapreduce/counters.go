@@ -42,6 +42,24 @@ const (
 	CounterShuffleRuns   = "SHUFFLE_SEALED_RUNS"
 	CounterMergeFanIn    = "SHUFFLE_MERGE_FAN_IN"
 	CounterShuffleMicros = "SHUFFLE_MICROS"
+
+	// Measured shuffle transfer, in encoded run-format bytes (package
+	// extsort): SHUFFLE_BYTES_WRITTEN counts every byte of sealed run
+	// data map tasks produced — spill files and sealed in-memory runs
+	// alike, after front-coding and the optional block codec — and
+	// SHUFFLE_BYTES_READ counts the bytes reduce-side merges actually
+	// consumed. Unlike REDUCE_SHUFFLE_BYTES (the logical key+value
+	// bytes entering the shuffle, an estimate of transfer), these are
+	// the real encoded sizes the paper's "bytes transferred" measure
+	// cares about; on a fully drained job read equals written.
+	CounterShuffleBytesWritten = "SHUFFLE_BYTES_WRITTEN"
+	CounterShuffleBytesRead    = "SHUFFLE_BYTES_READ"
+
+	// MALFORMED_KEYS counts intermediate keys the partitioner could not
+	// parse (it returned MalformedKeyPartition). Any nonzero count
+	// fails the job after the map phase instead of silently routing
+	// garbage to partition 0.
+	CounterMalformedKeys = "MALFORMED_KEYS"
 )
 
 // Counters is a concurrency-safe named counter group, the equivalent of

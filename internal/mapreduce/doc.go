@@ -19,12 +19,32 @@
 // scale without contending on a shared collector.
 //
 // When a task finishes, it seals every partition sorter into immutable
-// sorted runs — the final in-memory buffer travels as an in-memory run
-// at zero I/O cost; earlier spills travel as on-disk runs — and hands
-// them off through a per-task slot, so the hand-off itself is also
-// lock-free. Each reduce task then opens a multi-way merge
-// (extsort.MergeRuns) over all map tasks' runs for its partition and
-// streams the merged groups through the reducer.
+// sorted runs — the final in-memory buffer is encoded into an
+// in-memory run at zero disk I/O; earlier spills travel as on-disk
+// runs — and hands them off through a per-task slot, so the hand-off
+// itself is also lock-free. Each reduce task then opens a multi-way
+// merge (extsort.MergeRuns) over all map tasks' runs for its partition
+// and streams the merged groups through the reducer.
+//
+// # Run format and measured transfer
+//
+// Sealed runs — in memory and on disk alike — use extsort's
+// block-framed run format: records are grouped into ~64 KiB blocks
+// whose sorted keys are front-coded (shared-prefix length + differing
+// suffix), each block carries a CRC-32C checksum, and a per-run footer
+// index maps every block to its first key so merge readers stream
+// block-at-a-time with readahead and can skip blocks outside a key
+// range (extsort.MergeRunsRange). Front-coding is what makes SUFFIX-σ
+// suffix keys — long sorted stretches sharing leading terms — much
+// smaller in flight than flat framing. Job.ShuffleCodec optionally
+// adds per-block DEFLATE on top for jobs whose values compress well.
+//
+// Because every sealed run is really encoded, shuffle transfer is
+// measured rather than estimated: SHUFFLE_BYTES_WRITTEN counts the
+// encoded run bytes map tasks produced, SHUFFLE_BYTES_READ the bytes
+// reduce-side merges consumed (equal on a fully drained job), while
+// REDUCE_SHUFFLE_BYTES remains the logical key+value byte count —
+// written/logical is the format's compression ratio.
 //
 // # Memory accounting
 //
@@ -47,6 +67,10 @@
 // The shuffle reports its shape through counters:
 // SHUFFLE_SEALED_RUNS (runs handed off), SHUFFLE_MERGE_FAN_IN (summed
 // reduce-side merge width), SHUFFLE_MICROS (time spent sealing and
-// opening merges, summed across tasks), alongside the Hadoop-style
-// SPILLED_RECORDS and REDUCE_SHUFFLE_BYTES.
+// opening merges, summed across tasks), and the measured transfer
+// pair SHUFFLE_BYTES_WRITTEN / SHUFFLE_BYTES_READ, alongside the
+// Hadoop-style SPILLED_RECORDS and REDUCE_SHUFFLE_BYTES. A
+// partitioner that cannot parse a key returns MalformedKeyPartition;
+// such keys are tallied in MALFORMED_KEYS and any nonzero count fails
+// the job after the map phase.
 package mapreduce

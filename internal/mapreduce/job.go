@@ -57,8 +57,16 @@ func (f ReducerFunc) Reduce(key []byte, values *Values, emit Emit) error {
 	return f(key, values, emit)
 }
 
-// Partitioner assigns a key to one of r reduce partitions.
+// Partitioner assigns a key to one of r reduce partitions. A
+// partitioner that cannot parse a key must return
+// MalformedKeyPartition: the runtime counts such keys in the
+// MALFORMED_KEYS counter and fails the job after the map phase, rather
+// than letting malformed keys silently skew one partition.
 type Partitioner func(key []byte, r int) int
+
+// MalformedKeyPartition is the sentinel a Partitioner returns for a
+// key it cannot parse.
+const MalformedKeyPartition = -1
 
 // DefaultPartitioner hashes the whole key (FNV-1a), Hadoop's
 // HashPartitioner equivalent.
@@ -135,6 +143,11 @@ type Job struct {
 	// CombineMemory is the per-map-task memory budget for combiner
 	// buffering. Defaults to 32 MiB.
 	CombineMemory int
+	// ShuffleCodec selects the optional per-block compression of sealed
+	// shuffle runs on top of the format's front-coding. Default is
+	// extsort.CodecRaw; extsort.CodecFlate pays CPU for smaller
+	// transfer and suits jobs whose values compress well.
+	ShuffleCodec extsort.Codec
 	// TempDir is the scratch directory for spills. Empty selects the
 	// system default.
 	TempDir string
@@ -293,10 +306,17 @@ func runMapReduce(ctx context.Context, j *Job, splits []Split, sink Sink, counte
 		sealKeep = j.ShuffleMemory * j.MapSlots / len(splits)
 	}
 
+	// Measured shuffle transfer: every map task's shuffle sorters write
+	// encoded run bytes into this instance, and the reduce-side merges
+	// account the bytes they read back to it (the runs carry the
+	// pointer), so at the end of the reduce phase it holds the job's
+	// real map→reduce byte transfer.
+	shuffleIO := &extsort.IOStats{}
+
 	// ---- Map phase: each task sorts and spills its own output. ----
 	mapStart := time.Now()
 	if err := runTasks(ctx, len(splits), j.MapSlots, func(ctx context.Context, taskID int) error {
-		runs, err := runMapTask(ctx, j, taskID, splits[taskID], sealKeep, counters)
+		runs, err := runMapTask(ctx, j, taskID, splits[taskID], sealKeep, shuffleIO, counters)
 		if err != nil {
 			return err
 		}
@@ -307,6 +327,10 @@ func runMapReduce(ctx context.Context, j *Job, splits []Split, sink Sink, counte
 		return fmt.Errorf("mapreduce: job %q: map phase: %w", j.Name, err)
 	}
 	counters.Add(CounterMapPhaseMillis, time.Since(mapStart).Milliseconds())
+	if n := counters.Get(CounterMalformedKeys); n > 0 {
+		discardByTask()
+		return fmt.Errorf("mapreduce: job %q: partitioner rejected %d malformed intermediate keys", j.Name, n)
+	}
 
 	// ---- Shuffle: gather every map task's sealed runs per partition. ----
 	perPart := make([][]*extsort.Run, j.NumReducers)
@@ -328,6 +352,8 @@ func runMapReduce(ctx context.Context, j *Job, splits []Split, sink Sink, counte
 		return fmt.Errorf("mapreduce: job %q: reduce phase: %w", j.Name, err)
 	}
 	counters.Add(CounterReducePhaseMillis, time.Since(reduceStart).Milliseconds())
+	counters.Add(CounterShuffleBytesWritten, shuffleIO.BytesWritten())
+	counters.Add(CounterShuffleBytesRead, shuffleIO.BytesRead())
 	return nil
 }
 
@@ -337,7 +363,7 @@ func runMapReduce(ctx context.Context, j *Job, splits []Split, sink Sink, counte
 // each partition's sorter into sorted runs for the reduce-side merge.
 // The per-record emit path acquires no locks: counters are resolved to
 // atomic cells up front and all sorters are owned by this task alone.
-func runMapTask(ctx context.Context, j *Job, taskID int, split Split, sealKeep int, counters *Counters) ([][]*extsort.Run, error) {
+func runMapTask(ctx context.Context, j *Job, taskID int, split Split, sealKeep int, shuffleIO *extsort.IOStats, counters *Counters) ([][]*extsort.Run, error) {
 	mapper := j.NewMapper()
 	tc := &TaskContext{
 		JobName: j.Name, TaskID: taskID, Phase: "map", Partition: -1,
@@ -352,6 +378,7 @@ func runMapTask(ctx context.Context, j *Job, taskID int, split Split, sealKeep i
 	mapOutRecs := counters.Counter(CounterMapOutputRecords)
 	mapOutBytes := counters.Counter(CounterMapOutputBytes)
 	shuffleBytes := counters.Counter(CounterReduceShuffleBytes)
+	malformedKeys := counters.Counter(CounterMalformedKeys)
 	spilled := counters.Counter(CounterSpilledRecords)
 	onSpill := func(n int) { spilled.Add(int64(n)) }
 
@@ -381,6 +408,8 @@ func runMapTask(ctx context.Context, j *Job, taskID int, split Split, sealKeep i
 				TempDir:      j.TempDir,
 				Compare:      j.Compare,
 				OnSpill:      onSpill,
+				Codec:        j.ShuffleCodec,
+				Stats:        shuffleIO,
 			})
 			out[p] = s
 		}
@@ -448,6 +477,14 @@ func runMapTask(ctx context.Context, j *Job, taskID int, split Split, sealKeep i
 		mapOutRecs.Add(1)
 		mapOutBytes.Add(int64(len(key) + len(value)))
 		p := j.Partition(key, j.NumReducers)
+		if p == MalformedKeyPartition {
+			// Count every unparseable key and keep the task running so
+			// the post-map-phase check can report the full tally; route
+			// the record to partition 0 in the meantime (the job fails
+			// before any reducer sees it).
+			malformedKeys.Add(1)
+			p = 0
+		}
 		if p < 0 || p >= j.NumReducers {
 			return fmt.Errorf("partitioner returned %d for %d reducers", p, j.NumReducers)
 		}

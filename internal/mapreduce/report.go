@@ -15,9 +15,17 @@ type JobSummary struct {
 	InputRecords  int64
 	MapOutRecords int64
 	MapOutBytes   int64
-	ShuffleBytes  int64
-	OutputRecords int64
-	Spilled       int64
+	// ShuffleBytesWritten and ShuffleBytesRead are the measured shuffle
+	// transfer: encoded run-format bytes map tasks produced and reduce
+	// merges consumed. ShuffleLogicalBytes is the raw key+value byte
+	// count entering the shuffle — the pre-encoding estimate older
+	// reports called "shuffle bytes"; the written/logical ratio is the
+	// run format's compression factor.
+	ShuffleBytesWritten int64
+	ShuffleBytesRead    int64
+	ShuffleLogicalBytes int64
+	OutputRecords       int64
+	Spilled             int64
 	// SealedRuns is the number of sorted runs map tasks handed off to
 	// the reduce-side merge; MergeFanIn is the summed width of all
 	// reduce-side merges; ShuffleTime is the cumulative time tasks spent
@@ -34,42 +42,46 @@ type JobSummary struct {
 func Summary(name string, r *Result) JobSummary {
 	c := r.Counters
 	return JobSummary{
-		Name:          name,
-		MapTasks:      r.MapTasks,
-		ReduceTasks:   r.ReduceTasks,
-		InputRecords:  c.Get(CounterMapInputRecords),
-		MapOutRecords: c.Get(CounterMapOutputRecords),
-		MapOutBytes:   c.Get(CounterMapOutputBytes),
-		ShuffleBytes:  c.Get(CounterReduceShuffleBytes),
-		OutputRecords: c.Get(CounterReduceOutputRecs),
-		Spilled:       c.Get(CounterSpilledRecords),
-		SealedRuns:    c.Get(CounterShuffleRuns),
-		MergeFanIn:    c.Get(CounterMergeFanIn),
-		ShuffleTime:   time.Duration(c.Get(CounterShuffleMicros)) * time.Microsecond,
-		MapPhase:      time.Duration(c.Get(CounterMapPhaseMillis)) * time.Millisecond,
-		ReducePhase:   time.Duration(c.Get(CounterReducePhaseMillis)) * time.Millisecond,
-		Wallclock:     r.Wallclock,
+		Name:                name,
+		MapTasks:            r.MapTasks,
+		ReduceTasks:         r.ReduceTasks,
+		InputRecords:        c.Get(CounterMapInputRecords),
+		MapOutRecords:       c.Get(CounterMapOutputRecords),
+		MapOutBytes:         c.Get(CounterMapOutputBytes),
+		ShuffleBytesWritten: c.Get(CounterShuffleBytesWritten),
+		ShuffleBytesRead:    c.Get(CounterShuffleBytesRead),
+		ShuffleLogicalBytes: c.Get(CounterReduceShuffleBytes),
+		OutputRecords:       c.Get(CounterReduceOutputRecs),
+		Spilled:             c.Get(CounterSpilledRecords),
+		SealedRuns:          c.Get(CounterShuffleRuns),
+		MergeFanIn:          c.Get(CounterMergeFanIn),
+		ShuffleTime:         time.Duration(c.Get(CounterShuffleMicros)) * time.Microsecond,
+		MapPhase:            time.Duration(c.Get(CounterMapPhaseMillis)) * time.Millisecond,
+		ReducePhase:         time.Duration(c.Get(CounterReducePhaseMillis)) * time.Millisecond,
+		Wallclock:           r.Wallclock,
 	}
 }
 
 // Report renders a table of all jobs run through the driver, one line
-// per job plus an aggregate line.
+// per job plus an aggregate line. The shuffle-wB column is the
+// measured encoded transfer (SHUFFLE_BYTES_WRITTEN), not the logical
+// key+value estimate older reports showed.
 func (d *Driver) Report() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-28s %5s %5s %12s %12s %12s %12s %6s %10s\n",
-		"job", "maps", "reds", "in-recs", "map-out", "shuffle-B", "out-recs", "runs", "wallclock")
+		"job", "maps", "reds", "in-recs", "map-out", "shuffle-wB", "out-recs", "runs", "wallclock")
 	var totalWall time.Duration
 	var totIn, totOut, totMapOut, totShuffle, totRuns int64
 	for i, r := range d.JobResults {
 		s := Summary(fmt.Sprintf("#%d", i+1), r)
 		fmt.Fprintf(&sb, "%-28s %5d %5d %12d %12d %12d %12d %6d %10s\n",
 			s.Name, s.MapTasks, s.ReduceTasks, s.InputRecords, s.MapOutRecords,
-			s.ShuffleBytes, s.OutputRecords, s.SealedRuns, s.Wallclock.Round(time.Millisecond))
+			s.ShuffleBytesWritten, s.OutputRecords, s.SealedRuns, s.Wallclock.Round(time.Millisecond))
 		totalWall += s.Wallclock
 		totIn += s.InputRecords
 		totOut += s.OutputRecords
 		totMapOut += s.MapOutRecords
-		totShuffle += s.ShuffleBytes
+		totShuffle += s.ShuffleBytesWritten
 		totRuns += s.SealedRuns
 	}
 	fmt.Fprintf(&sb, "%-28s %5s %5s %12d %12d %12d %12d %6d %10s\n",

@@ -103,6 +103,11 @@ type Measurement struct {
 	Wallclock time.Duration
 	// Bytes is measure (b): MAP_OUTPUT_BYTES over all jobs.
 	Bytes int64
+	// ShuffleBytes is the measured shuffle transfer over all jobs:
+	// encoded run-format bytes handed from map to reduce
+	// (SHUFFLE_BYTES_WRITTEN), the real on-the-wire counterpart of
+	// measure (b).
+	ShuffleBytes int64
 	// Records is measure (c): MAP_OUTPUT_RECORDS over all jobs.
 	Records int64
 	// Jobs is the number of MapReduce jobs launched.
@@ -155,7 +160,7 @@ func (t *Table) sweepValue(m Measurement) string {
 }
 
 // Render prints the table for one measure: "wallclock", "bytes",
-// "records", or "output".
+// "shuffle", "records", or "output".
 func (t *Table) Render(measure string) string {
 	datasets := orderedKeys(t.rows, func(m Measurement) string { return m.Dataset })
 	methods := orderedKeys(t.rows, func(m Measurement) string { return m.Method })
@@ -201,6 +206,8 @@ func formatMeasure(m Measurement, measure string) string {
 		return formatDuration(m.Wallclock)
 	case "bytes":
 		return formatBytes(m.Bytes)
+	case "shuffle":
+		return formatBytes(m.ShuffleBytes)
 	case "records":
 		return formatCount(m.Records)
 	case "output":
@@ -253,15 +260,15 @@ func formatCount(n int64) string {
 // for downstream plotting.
 func (t *Table) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("dataset,method,tau,sigma,slots,fraction,wallclock_ms,bytes,records,jobs,output\n")
+	sb.WriteString("dataset,method,tau,sigma,slots,fraction,wallclock_ms,bytes,shuffle_bytes,records,jobs,output\n")
 	for _, m := range t.rows {
 		sigma := fmt.Sprint(m.Sigma)
 		if m.Sigma >= math.MaxInt32 {
 			sigma = "inf"
 		}
-		fmt.Fprintf(&sb, "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(&sb, "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			m.Dataset, m.Method, m.Tau, sigma, m.Slots, m.Fraction,
-			m.Wallclock.Milliseconds(), m.Bytes, m.Records, m.Jobs, m.Output)
+			m.Wallclock.Milliseconds(), m.Bytes, m.ShuffleBytes, m.Records, m.Jobs, m.Output)
 	}
 	return sb.String()
 }
@@ -277,6 +284,8 @@ func (t *Table) Speedup(measure, baseline, method string) map[string]float64 {
 			return float64(m.Wallclock)
 		case "bytes":
 			return float64(m.Bytes)
+		case "shuffle":
+			return float64(m.ShuffleBytes)
 		case "records":
 			return float64(m.Records)
 		}

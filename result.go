@@ -63,6 +63,12 @@ func (r *Result) BytesTransferred() int64 { return r.run.BytesTransferred() }
 // reduce phases over all jobs (the paper's measure c).
 func (r *Result) RecordsTransferred() int64 { return r.run.RecordsTransferred() }
 
+// ShuffleBytes returns the measured shuffle transfer over all jobs:
+// the encoded run-format bytes map tasks actually handed to reduce
+// tasks, after front-coding and any block codec — the on-the-wire
+// counterpart of BytesTransferred's logical byte count.
+func (r *Result) ShuffleBytes() int64 { return r.run.ShuffleBytesWritten() }
+
 // Each calls fn for every reported n-gram. Iteration order is
 // unspecified. Returning an error from fn stops iteration.
 func (r *Result) Each(fn func(NGram) error) error {
