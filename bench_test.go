@@ -16,6 +16,8 @@ package ngramstats
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 
@@ -236,6 +238,128 @@ func BenchmarkAblationDocSplit(b *testing.B) {
 			runMethod(b, nyt, core.SuffixSigma, p)
 		})
 	}
+}
+
+// fig7Result computes the fig7 SUFFIX-σ workload (τ=3, σ=5 on the
+// NYT-like corpus) once for the consumption benchmarks.
+func fig7Result(b *testing.B) *Result {
+	b.Helper()
+	nyt, _ := benchCorpora()
+	c := &Corpus{col: nyt}
+	res, err := Count(context.Background(), c, Options{
+		MinFrequency: 3, MaxLength: 5, Combiner: true,
+		Reducers: 4, InputSplits: 8, TempDir: b.TempDir(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// allTopK is the pre-redesign TopK: decode everything, sort, truncate.
+// It serves as the allocation baseline for BenchmarkTopKDecodes.
+func allTopK(r *Result, k int) ([]NGram, error) {
+	all, err := r.All()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Frequency != all[j].Frequency {
+			return all[i].Frequency > all[j].Frequency
+		}
+		if len(all[i].IDs) != len(all[j].IDs) {
+			return len(all[i].IDs) > len(all[j].IDs)
+		}
+		return all[i].Text < all[j].Text
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k], nil
+}
+
+// BenchmarkTopKDecodes verifies the consumption redesign's acceptance
+// criterion on the fig7 SUFFIX-σ workload: the bounded-heap TopK(10)
+// decodes O(k) NGrams (allocs/op stays flat in the result size), while
+// the All-based baseline decodes every reported n-gram. Compare
+// allocs/op between the two sub-benchmarks.
+func BenchmarkTopKDecodes(b *testing.B) {
+	res := fig7Result(b)
+	defer res.Release()
+	b.Logf("result size: %d n-grams", res.Len())
+
+	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			top, err := res.TopK(10)
+			if err != nil || len(top) != 10 {
+				b.Fatalf("TopK: %v (%d)", err, len(top))
+			}
+		}
+	})
+	b.Run("all-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			top, err := allTopK(res, 10)
+			if err != nil || len(top) != 10 {
+				b.Fatalf("allTopK: %v (%d)", err, len(top))
+			}
+		}
+	})
+}
+
+// BenchmarkLookupEarlyExit measures Lookup's first-match termination
+// against the pre-redesign behaviour of scanning every remaining
+// n-gram after the match.
+func BenchmarkLookupEarlyExit(b *testing.B) {
+	res := fig7Result(b)
+	defer res.Release()
+	top, err := res.TopK(1)
+	if err != nil || len(top) != 1 {
+		b.Fatalf("TopK: %v", err)
+	}
+	phrase := top[0].Text
+
+	b.Run("early-exit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := res.Lookup(phrase); err != nil || !ok {
+				b.Fatalf("Lookup: %v %v", ok, err)
+			}
+		}
+	})
+	b.Run("scan-all-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := scanAllLookup(res, phrase); err != nil || !ok {
+				b.Fatalf("scanAllLookup: %v %v", ok, err)
+			}
+		}
+	})
+}
+
+// scanAllLookup is the pre-redesign Lookup: it keeps scanning (and
+// decoding) every n-gram after the match is found.
+func scanAllLookup(r *Result, phrase string) (NGram, bool, error) {
+	words := strings.Fields(phrase)
+	ids := make(sequence.Seq, len(words))
+	for i, w := range words {
+		id, ok := r.corpus.TermID(strings.ToLower(w))
+		if !ok {
+			return NGram{}, false, nil
+		}
+		ids[i] = id
+	}
+	var found NGram
+	ok := false
+	err := r.Each(func(ng NGram) error {
+		if !ok && sequence.Equal(sequence.Seq(ng.IDs), ids) {
+			found = ng
+			ok = true
+		}
+		return nil
+	})
+	return found, ok, err
 }
 
 // BenchmarkPublicAPI measures the end-to-end facade path (corpus from

@@ -1,15 +1,19 @@
-// Command corpusgen generates the synthetic evaluation corpora (the
-// NYT-like and ClueWeb09-B-like stand-ins of DESIGN.md) and persists
-// them as binary shards plus a dictionary file, mirroring the paper's
-// pre-processed corpus layout.
+// Command corpusgen builds corpora and persists them as binary shards
+// plus a dictionary file, mirroring the paper's pre-processed corpus
+// layout. It generates the synthetic evaluation corpora (the NYT-like
+// and ClueWeb09-B-like stand-ins of DESIGN.md) or ingests real text
+// files through the streaming CorpusBuilder, one document per file,
+// spilling encoded documents to disk past the memory budget.
 //
 // Usage:
 //
 //	corpusgen -dataset nyt -docs 5000 -out /data/nyt
 //	corpusgen -dataset cw  -docs 15000 -out /data/cw -shards 256
+//	corpusgen -dataset text -out /data/books -web=false books/*.txt
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +23,13 @@ import (
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "nyt", "corpus flavour: nyt | cw")
-		docs    = flag.Int("docs", 2000, "number of documents")
-		seed    = flag.Int64("seed", 42, "generation seed")
+		dataset = flag.String("dataset", "nyt", "corpus flavour: nyt | cw | text (ingest the file arguments)")
+		docs    = flag.Int("docs", 2000, "number of documents (nyt/cw)")
+		seed    = flag.Int64("seed", 42, "generation seed (nyt/cw)")
 		out     = flag.String("out", "", "output directory (required)")
 		shards  = flag.Int("shards", 16, "number of binary shard files")
+		web     = flag.Bool("web", false, "text mode: apply boilerplate filtering")
+		mem     = flag.Int("mem", 0, "text mode: builder memory budget in MiB (0 = default)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -32,11 +38,22 @@ func main() {
 	}
 
 	var corpus *ngramstats.Corpus
+	var err error
 	switch *dataset {
 	case "nyt":
 		corpus = ngramstats.SyntheticNYT(*docs, *seed)
 	case "cw":
 		corpus = ngramstats.SyntheticCW(*docs, *seed)
+	case "text":
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "corpusgen: -dataset text needs input file arguments")
+			os.Exit(2)
+		}
+		corpus, err = fromFiles(flag.Args(), *web, *mem<<20)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "corpusgen:", err)
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "corpusgen: unknown dataset %q\n", *dataset)
 		os.Exit(2)
@@ -50,4 +67,12 @@ func main() {
 	fmt.Printf("wrote %s: %d documents, %d sentences, %d term occurrences, %d distinct terms\n",
 		*out, st.Documents, st.Sentences, st.TermOccurrences, st.DistinctTerms)
 	fmt.Printf("sentence length: mean %.2f, sd %.2f\n", st.SentenceLenMean, st.SentenceLenSD)
+}
+
+// fromFiles streams one document per file through the corpus builder;
+// only one file's raw text is resident at a time.
+func fromFiles(paths []string, web bool, budget int) (*ngramstats.Corpus, error) {
+	return ngramstats.FromDocuments(context.Background(), "text",
+		ngramstats.FileDocuments(paths, web),
+		ngramstats.BuilderOptions{MemoryBudget: budget})
 }

@@ -146,9 +146,9 @@ func (c *config) params(tau int64, sigma, slots int) core.Params {
 		Combiner:     true,
 	}
 	if c.verbose {
-		p.Logf = func(format string, args ...any) {
+		p.Progress = mapreduce.LogProgress(func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
-		}
+		})
 	}
 	return p
 }

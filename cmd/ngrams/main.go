@@ -6,7 +6,9 @@
 //	cat corpus.txt | ngrams [flags]
 //
 // Each input file is one document (with stdin, each line is one
-// document). Example:
+// document). Ingestion streams: documents are tokenized and encoded one
+// at a time through the CorpusBuilder API, so the corpus never holds
+// all raw text in memory. Example:
 //
 //	ngrams -tau 5 -sigma 5 -top 20 books/*.txt
 package main
@@ -16,7 +18,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"iter"
 	"os"
+	"time"
 
 	"ngramstats"
 )
@@ -35,27 +39,20 @@ func main() {
 		web      = flag.Bool("web", false, "apply boilerplate filtering (web pages)")
 		df       = flag.Bool("df", false, "also report document frequencies (distinct documents)")
 		stats    = flag.Bool("stats", false, "print run statistics (jobs, bytes, records, time)")
+		progress = flag.Bool("progress", false, "print live progress while computing")
+		mem      = flag.Int("mem", 0, "corpus builder memory budget in MiB (0 = default)")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
-	docs, err := readDocuments(flag.Args())
+	corpus, err := ngramstats.FromDocuments(ctx, "input", documents(flag.Args(), *web),
+		ngramstats.BuilderOptions{MemoryBudget: *mem << 20})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ngrams:", err)
 		os.Exit(1)
 	}
-	if len(docs) == 0 {
+	if corpus.Stats().Documents == 0 {
 		fmt.Fprintln(os.Stderr, "ngrams: no input documents")
-		os.Exit(1)
-	}
-
-	var corpus *ngramstats.Corpus
-	if *web {
-		corpus, err = ngramstats.FromWebText("input", docs, nil)
-	} else {
-		corpus, err = ngramstats.FromText("input", docs, nil)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ngrams:", err)
 		os.Exit(1)
 	}
 
@@ -76,7 +73,15 @@ func main() {
 		opts.Aggregation = ngramstats.DocumentIndex
 	}
 
-	result, err := ngramstats.Count(context.Background(), corpus, opts)
+	job, err := ngramstats.Start(ctx, corpus, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ngrams:", err)
+		os.Exit(1)
+	}
+	if *progress {
+		go watch(job)
+	}
+	result, err := job.Wait()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ngrams:", err)
 		os.Exit(1)
@@ -117,25 +122,45 @@ func main() {
 	}
 }
 
-func readDocuments(paths []string) ([]string, error) {
-	if len(paths) == 0 {
-		var docs []string
+// watch prints progress snapshots to stderr until the job finishes.
+func watch(job *ngramstats.Job) {
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-job.Done():
+			return
+		case <-tick.C:
+			p := job.Progress()
+			fmt.Fprintf(os.Stderr, "  [%6s] %s: tasks %d/%d, jobs %d/%d, %d records, %d shuffle bytes (%v)\n",
+				p.Phase, p.JobName, p.TasksDone, p.TasksTotal, p.JobsDone, p.JobsStarted,
+				p.Records, p.ShuffleBytes, p.Elapsed.Round(time.Millisecond))
+		}
+	}
+}
+
+// documents streams the input as a document sequence: one document per
+// file path, or one per non-empty stdin line when no paths are given.
+// Only one document's raw text is resident at a time; documents take
+// ordinal IDs.
+func documents(paths []string, web bool) iter.Seq2[ngramstats.Document, error] {
+	if len(paths) > 0 {
+		return ngramstats.FileDocuments(paths, web)
+	}
+	return func(yield func(ngramstats.Document, error) bool) {
 		sc := bufio.NewScanner(os.Stdin)
 		sc.Buffer(make([]byte, 1<<20), 16<<20)
 		for sc.Scan() {
-			if line := sc.Text(); line != "" {
-				docs = append(docs, line)
+			line := sc.Text()
+			if line == "" {
+				continue
+			}
+			if !yield(ngramstats.Document{Text: line, Web: web}, nil) {
+				return
 			}
 		}
-		return docs, sc.Err()
-	}
-	docs := make([]string, 0, len(paths))
-	for _, p := range paths {
-		b, err := os.ReadFile(p)
-		if err != nil {
-			return nil, err
+		if err := sc.Err(); err != nil {
+			yield(ngramstats.Document{}, err)
 		}
-		docs = append(docs, string(b))
 	}
-	return docs, nil
 }

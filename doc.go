@@ -29,25 +29,70 @@
 // measures the paper reports are observable locally via Result
 // counters.
 //
-// Beyond plain counting, SUFFIX-σ supports restricting output to
-// maximal or closed n-grams and aggregations beyond occurrence counting
-// (per-year time series, per-document inverted indexes) — the
-// extensions of Section VI of the paper.
+// # Streaming-first API
+//
+// The paper's methods exist because corpora do not fit comfortably in
+// one machine's memory; the public API streams at every stage
+// accordingly.
+//
+// Ingestion: a CorpusBuilder accepts one Document at a time, tokenizes
+// and integer-encodes it immediately, and spills encoded documents to
+// disk past a memory budget — raw text is never held beyond the
+// document being added. FromDocuments drives a builder from an
+// iterator; FromText, FromWebText and FromTextFiles are batch facades
+// over the same path.
+//
+// Execution: Start launches the computation and returns a Job handle
+// with live, monotonic progress (phases, task counts, live counters
+// including measured shuffle bytes), cancellation via context, and
+// Wait for the result. Count remains as Start followed by Wait.
+//
+// Consumption: Result.NGrams is a range-over-func iterator decoding
+// one n-gram at a time; TopK and Longest select with a bounded
+// min-heap in O(k) memory rather than materializing the result; Lookup
+// stops at its first match.
 //
 // # Quick start
 //
-//	corpus, err := ngramstats.FromText("demo", []string{
-//		"a rose is a rose is a rose",
-//	}, nil)
+//	builder := ngramstats.NewCorpusBuilder("demo", ngramstats.BuilderOptions{})
+//	if err := builder.Add(ngramstats.Document{Text: "a rose is a rose is a rose"}); err != nil { ... }
+//	corpus, err := builder.Finish()
 //	if err != nil { ... }
-//	result, err := ngramstats.Count(ctx, corpus, ngramstats.Options{
+//
+//	job, err := ngramstats.Start(ctx, corpus, ngramstats.Options{
 //		MinFrequency: 2,
 //		MaxLength:    3,
 //	})
 //	if err != nil { ... }
-//	for _, ng := range result.TopK(10) {
+//	// optional: poll job.Progress() while it runs
+//	result, err := job.Wait()
+//	if err != nil { ... }
+//	defer result.Release()
+//
+//	for ng, err := range result.NGrams() {
+//		if err != nil { ... }
 //		fmt.Printf("%6d  %s\n", ng.Frequency, ng.Text)
 //	}
+//
+// # Migrating from the batch-and-materialize API
+//
+// Old calls map directly onto the streaming surface; all of them still
+// work, implemented on the streaming path:
+//
+//   - FromText(name, docs, years) → NewCorpusBuilder, Add(Document{...}),
+//     Finish — or FromDocuments for an iterator source;
+//   - Count(ctx, c, opts) → Start(ctx, c, opts) then Job.Wait (Count
+//     itself remains and does exactly that);
+//   - Options.Logf → Job.Progress / Job.Counters for structured live
+//     progress (Logf still emits log lines);
+//   - Result.All + sorting → Result.TopK / Result.Longest (now
+//     memory-bounded), or range over Result.NGrams;
+//   - Result.Each(fn) → for ng, err := range Result.NGrams().
+//
+// Beyond plain counting, SUFFIX-σ supports restricting output to
+// maximal or closed n-grams and aggregations beyond occurrence counting
+// (per-year time series, per-document inverted indexes) — the
+// extensions of Section VI of the paper.
 //
 // See the examples directory for complete programs, including the
 // paper's two evaluation use cases (language-model training and long

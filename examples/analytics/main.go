@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"ngramstats"
 )
@@ -27,8 +28,11 @@ func main() {
 	st := corpus.Stats()
 	fmt.Printf("corpus: %d docs, %d term occurrences\n\n", st.Documents, st.TermOccurrences)
 
-	// First: all frequent n-grams up to sigma=100.
-	allRes, err := ngramstats.Count(ctx, corpus, ngramstats.Options{
+	// First: all frequent n-grams up to sigma=100. Run it as a job
+	// handle and poll live progress: document splitting launches three
+	// MapReduce jobs, and the snapshot shows phases and task counts as
+	// they go by.
+	job, err := ngramstats.Start(ctx, corpus, ngramstats.Options{
 		MinFrequency:   8,
 		MaxLength:      100,
 		Combiner:       true,
@@ -37,7 +41,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	printerDone := make(chan struct{})
+	go func() {
+		defer close(printerDone)
+		tick := time.NewTicker(150 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-job.Done():
+				return
+			case <-tick.C:
+				p := job.Progress()
+				fmt.Printf("  ...%s %s: tasks %d/%d, %d records emitted\n",
+					p.JobName, p.Phase, p.TasksDone, p.TasksTotal, p.Records)
+			}
+		}
+	}()
+	allRes, err := job.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer allRes.Release()
+	<-printerDone // join the printer so progress lines never interleave results
 
 	// Second: only the maximal ones.
 	maxRes, err := ngramstats.Count(ctx, corpus, ngramstats.Options{

@@ -30,7 +30,7 @@ func main() {
 		train.Stats().Documents, test.Stats().Documents)
 
 	fmt.Println("computing n-gram statistics (sigma=5, tau=2, suffix-sigma)...")
-	result, err := ngramstats.Count(ctx, train, ngramstats.Options{
+	job, err := ngramstats.Start(ctx, train, ngramstats.Options{
 		MinFrequency: 2,
 		MaxLength:    5,
 		Combiner:     true,
@@ -38,6 +38,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	result, err := job.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := job.Progress()
+	fmt.Printf("  %d MapReduce job(s), %d tasks\n", p.JobsDone, p.TasksDone)
 	defer result.Release()
 	fmt.Printf("  %d n-grams in %v (%d records shuffled)\n\n",
 		result.Len(), result.Wallclock(), result.RecordsTransferred())

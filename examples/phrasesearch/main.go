@@ -30,7 +30,14 @@ func main() {
 		"We had everything before us. We had nothing before us. " +
 			"It was the best of times indeed.",
 	}
-	corpus, err := ngramstats.FromText("tale", docs, nil)
+	// Ingest through the streaming builder: one Add per document.
+	builder := ngramstats.NewCorpusBuilder("tale", ngramstats.BuilderOptions{})
+	for _, text := range docs {
+		if err := builder.Add(ngramstats.Document{Text: text}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	corpus, err := builder.Finish()
 	if err != nil {
 		log.Fatal(err)
 	}

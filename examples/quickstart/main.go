@@ -1,5 +1,8 @@
 // Quickstart: compute n-gram statistics over a few documents with the
-// default method (SUFFIX-σ) and print every frequent n-gram.
+// default method (SUFFIX-σ) and print every frequent n-gram, using the
+// streaming-first API end to end: documents enter one at a time through
+// a CorpusBuilder, the computation runs as a Job handle with observable
+// progress, and results stream out of the NGrams iterator.
 //
 // The input is the running example of the paper (Section III): three
 // documents over the vocabulary {a, b, x}. With τ=3 and σ=3 the
@@ -21,30 +24,52 @@ import (
 )
 
 func main() {
-	corpus, err := ngramstats.FromText("running-example", []string{
+	ctx := context.Background()
+
+	// Ingestion streams: each Add tokenizes and encodes one document and
+	// releases its raw text. Past the memory budget, encoded documents
+	// spill to disk, so raw streams far larger than RAM ingest the same
+	// way (the encoded corpus itself stays resident).
+	builder := ngramstats.NewCorpusBuilder("running-example", ngramstats.BuilderOptions{})
+	for _, text := range []string{
 		"a x b x x",
 		"b a x b x",
 		"x b a x b",
-	}, nil)
+	} {
+		if err := builder.Add(ngramstats.Document{Text: text}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	corpus, err := builder.Finish()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	result, err := ngramstats.Count(context.Background(), corpus, ngramstats.Options{
+	// Execution is a handle: Start returns immediately, Progress can be
+	// polled while MapReduce jobs run, Wait delivers the result.
+	job, err := ngramstats.Start(ctx, corpus, ngramstats.Options{
 		MinFrequency: 3, // τ
 		MaxLength:    3, // σ
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer result.Release()
-
-	fmt.Printf("%d n-grams with cf >= 3 and length <= 3:\n\n", result.Len())
-	ngrams, err := result.TopK(int(result.Len()))
+	result, err := job.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, ng := range ngrams {
+	defer result.Release()
+
+	p := job.Progress()
+	fmt.Printf("%d n-grams with cf >= 3 and length <= 3 (%d job(s), %d tasks):\n\n",
+		result.Len(), p.JobsDone, p.TasksDone)
+
+	// Consumption streams too: ranging over NGrams decodes one n-gram at
+	// a time, never materializing the result set.
+	for ng, err := range result.NGrams() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  cf=%d  ⟨%s⟩\n", ng.Frequency, ng.Text)
 	}
 

@@ -40,19 +40,16 @@ func main() {
 	defer result.Release()
 	fmt.Printf("%d n-grams with per-year counts (tau=30, sigma=2)\n\n", result.Len())
 
-	// Collect bigram series and show the busiest ones as sparklines.
-	type entry struct {
-		ng ngramstats.NGram
-	}
+	// Collect bigram series and show the busiest ones as sparklines,
+	// streaming over the result with the NGrams iterator.
 	var bigrams []ngramstats.NGram
-	err = result.Each(func(ng ngramstats.NGram) error {
+	for ng, err := range result.NGrams() {
+		if err != nil {
+			log.Fatal(err)
+		}
 		if ng.Length() == 2 {
 			bigrams = append(bigrams, ng)
 		}
-		return nil
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
 	sort.Slice(bigrams, func(i, j int) bool { return bigrams[i].Frequency > bigrams[j].Frequency })
 	if len(bigrams) > 8 {

@@ -47,6 +47,22 @@ func Methods() []Method {
 	return []Method{Naive, AprioriScan, AprioriIndex, SuffixSigma}
 }
 
+// methodImpls is the dispatch table behind Compute and ValidMethod —
+// the single list a new method must be added to.
+var methodImpls = map[Method]func(context.Context, *corpus.Collection, Params) (*Run, error){
+	Naive:            computeNaive,
+	AprioriScan:      computeAprioriScan,
+	AprioriIndex:     computeAprioriIndex,
+	SuffixSigma:      computeSuffixSigma,
+	SuffixSigmaNaive: computeSuffixSigmaHashmap,
+}
+
+// ValidMethod reports whether Compute can dispatch m.
+func ValidMethod(m Method) bool {
+	_, ok := methodImpls[m]
+	return ok
+}
+
 // SelectMode restricts which n-grams are produced (Section VI-A).
 type SelectMode int
 
@@ -119,8 +135,13 @@ type Params struct {
 	// default). extsort.CodecFlate trades CPU for smaller transfer and
 	// suits NAÏVE/APRIORI runs whose values compress well.
 	ShuffleCodec extsort.Codec
-	// Logf, if non-nil, receives progress messages.
-	Logf func(format string, args ...any)
+	// Progress, if non-nil, receives structured lifecycle events from
+	// every MapReduce job the method launches: job and phase starts,
+	// per-task completions, and final summaries, plus live handles on
+	// each job's counters and measured shuffle transfer. It replaces the
+	// earlier free-form Logf hook; wrap a printf-style logger with
+	// mapreduce.LogProgress for log-line output.
+	Progress mapreduce.Progress
 }
 
 func (p Params) withDefaults() Params {
@@ -153,7 +174,7 @@ func (p Params) job(name string) *mapreduce.Job {
 		ReduceSlots:  p.ReduceSlots,
 		TempDir:      p.TempDir,
 		ShuffleCodec: p.ShuffleCodec,
-		Logf:         p.Logf,
+		Progress:     p.Progress,
 	}
 }
 
@@ -282,21 +303,11 @@ func (r *ResultSet) Release() error { return r.data.Release() }
 
 // Compute runs the selected method over the collection.
 func Compute(ctx context.Context, col *corpus.Collection, method Method, p Params) (*Run, error) {
-	p = p.withDefaults()
-	switch method {
-	case Naive:
-		return computeNaive(ctx, col, p)
-	case AprioriScan:
-		return computeAprioriScan(ctx, col, p)
-	case AprioriIndex:
-		return computeAprioriIndex(ctx, col, p)
-	case SuffixSigma:
-		return computeSuffixSigma(ctx, col, p)
-	case SuffixSigmaNaive:
-		return computeSuffixSigmaHashmap(ctx, col, p)
-	default:
+	impl, ok := methodImpls[method]
+	if !ok {
 		return nil, fmt.Errorf("core: unknown method %q", method)
 	}
+	return impl(ctx, col, p.withDefaults())
 }
 
 // corpusInput prepares the input of a method's main jobs: the raw

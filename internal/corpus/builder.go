@@ -1,0 +1,265 @@
+package corpus
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"ngramstats/internal/dictionary"
+	"ngramstats/internal/encoding"
+	"ngramstats/internal/sequence"
+)
+
+// BuilderOptions configures incremental collection construction.
+type BuilderOptions struct {
+	// MemoryBudget bounds the bytes of encoded documents the builder
+	// keeps in memory; past it, buffered documents spill to a temporary
+	// shard file. Zero selects 256 MiB. The term dictionary always stays
+	// resident (the paper's setting: dictionaries fit in memory,
+	// collections need not).
+	MemoryBudget int
+	// TempDir is the directory for spilled document shards. Empty
+	// selects the system temp directory.
+	TempDir string
+}
+
+func (o BuilderOptions) withDefaults() BuilderOptions {
+	if o.MemoryBudget <= 0 {
+		o.MemoryBudget = 256 << 20
+	}
+	return o
+}
+
+// Builder constructs a Collection incrementally, one document at a
+// time, without ever holding raw text beyond the document being added.
+//
+// Dictionary identifiers must be assigned in descending collection-
+// frequency order (Section V, "Sequence Encoding"), which is only known
+// once every document has been seen. The builder therefore encodes
+// sentences against provisional identifiers assigned in first-seen
+// order, buffers the provisionally-encoded documents within a memory
+// budget (spilling them to a temporary shard file past it), and at
+// Finish builds the final frequency-ranked dictionary and remaps every
+// buffered and spilled document through a provisional→final identifier
+// table. The result is identical to a batch build over the same
+// documents in the same order.
+type Builder struct {
+	name string
+	opts BuilderOptions
+
+	// Provisional dictionary: term → first-seen identifier, with
+	// per-identifier term strings and occurrence counts.
+	ids    map[string]sequence.Term
+	terms  []string
+	counts []int64
+
+	// Buffered provisionally-encoded documents and their approximate
+	// resident bytes.
+	docs     []Document
+	buffered int
+
+	// Spill state: one temporary shard file of (docID, payload) records
+	// in Add order, plus the number of documents it holds.
+	spill       *os.File
+	spillW      *bufio.Writer
+	spilledDocs int
+
+	added    int64
+	finished bool
+}
+
+// NewBuilder returns an empty builder for a collection with the given
+// name.
+func NewBuilder(name string, opts BuilderOptions) *Builder {
+	return &Builder{
+		name: name,
+		opts: opts.withDefaults(),
+		ids:  make(map[string]sequence.Term),
+	}
+}
+
+// errFinished guards against use after Finish or Discard.
+var errFinished = errors.New("corpus: builder already finished")
+
+// Added returns the number of documents added so far.
+func (b *Builder) Added() int64 { return b.added }
+
+// SpilledDocs returns the number of documents spilled to disk so far.
+func (b *Builder) SpilledDocs() int { return b.spilledDocs }
+
+// Add tokenizes, sentence-splits, and provisionally encodes one raw
+// document. When web is true the text passes the boilerplate filter
+// first. The raw text is not retained.
+func (b *Builder) Add(id int64, year int, text string, web bool) error {
+	if b.finished {
+		return errFinished
+	}
+	if web {
+		text = BoilerplateFilter(text)
+	}
+	doc := Document{ID: id, Year: year}
+	bytes := 48 // struct + slice headers
+	for _, sent := range SplitSentences(text) {
+		toks := Tokenize(sent)
+		if len(toks) == 0 {
+			continue
+		}
+		s := make(sequence.Seq, len(toks))
+		for i, tok := range toks {
+			tid, ok := b.ids[tok]
+			if !ok {
+				tid = sequence.Term(len(b.terms))
+				b.ids[tok] = tid
+				b.terms = append(b.terms, tok)
+				b.counts = append(b.counts, 0)
+			}
+			b.counts[tid]++
+			s[i] = tid
+		}
+		doc.Sentences = append(doc.Sentences, s)
+		bytes += 24 + 4*len(s)
+	}
+	b.docs = append(b.docs, doc)
+	b.buffered += bytes
+	b.added++
+	if b.buffered > b.opts.MemoryBudget {
+		return b.spillDocs()
+	}
+	return nil
+}
+
+// spillDocs appends every buffered document to the spill shard and
+// resets the buffer.
+func (b *Builder) spillDocs() error {
+	if b.spill == nil {
+		f, err := os.CreateTemp(b.opts.TempDir, "corpus-builder-*.bin")
+		if err != nil {
+			return fmt.Errorf("corpus: builder spill: %w", err)
+		}
+		b.spill = f
+		b.spillW = bufio.NewWriterSize(f, 256<<10)
+	}
+	for i := range b.docs {
+		d := &b.docs[i]
+		if err := encoding.WriteRecord(b.spillW, EncodeDocKey(d.ID), EncodeDocValue(d)); err != nil {
+			return fmt.Errorf("corpus: builder spill: %w", err)
+		}
+		b.spilledDocs++
+	}
+	// Zero the elements before reslicing: the backing array survives,
+	// and stale Document values there would pin up to a full budget of
+	// encoded sentences against the GC.
+	clear(b.docs)
+	b.docs = b.docs[:0]
+	b.buffered = 0
+	return nil
+}
+
+// Finish freezes the dictionary, remaps every document to the final
+// frequency-ranked identifiers, and returns the completed collection.
+// The builder must not be used afterwards.
+func (b *Builder) Finish() (*Collection, error) {
+	if b.finished {
+		return nil, errFinished
+	}
+	b.finished = true
+	defer b.cleanup()
+
+	// Final dictionary: identical construction to the batch path, so a
+	// streamed build yields byte-identical encodings.
+	db := dictionary.NewBuilder()
+	for i, term := range b.terms {
+		db.AddN(term, b.counts[i])
+	}
+	dict := db.Build()
+
+	// Provisional → final identifier table.
+	remap := make([]sequence.Term, len(b.terms))
+	for i, term := range b.terms {
+		id, ok := dict.ID(term)
+		if !ok {
+			return nil, fmt.Errorf("corpus: builder: term %q lost in dictionary build", term)
+		}
+		remap[i] = id
+	}
+
+	c := &Collection{Name: b.name, Dict: dict}
+	c.Docs = make([]Document, 0, b.spilledDocs+len(b.docs))
+
+	// Spilled documents first — they were added first.
+	if b.spill != nil {
+		if err := b.spillW.Flush(); err != nil {
+			return nil, fmt.Errorf("corpus: builder: flush spill: %w", err)
+		}
+		if _, err := b.spill.Seek(0, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("corpus: builder: rewind spill: %w", err)
+		}
+		rr := encoding.NewRecordReader(bufio.NewReaderSize(b.spill, 256<<10))
+		for {
+			k, v, err := rr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("corpus: builder: read spill: %w", err)
+			}
+			id, err := DecodeDocKey(k)
+			if err != nil {
+				return nil, err
+			}
+			doc, err := DecodeDocValue(v)
+			if err != nil {
+				return nil, err
+			}
+			doc.ID = id
+			if err := remapDoc(doc, remap); err != nil {
+				return nil, err
+			}
+			c.Docs = append(c.Docs, *doc)
+		}
+	}
+	for i := range b.docs {
+		if err := remapDoc(&b.docs[i], remap); err != nil {
+			return nil, err
+		}
+		c.Docs = append(c.Docs, b.docs[i])
+	}
+	b.docs = nil
+	return c, nil
+}
+
+// Discard releases the builder's resources without producing a
+// collection.
+func (b *Builder) Discard() {
+	b.finished = true
+	b.cleanup()
+}
+
+func (b *Builder) cleanup() {
+	if b.spill != nil {
+		name := b.spill.Name()
+		b.spill.Close()
+		os.Remove(name)
+		b.spill = nil
+		b.spillW = nil
+	}
+}
+
+// remapDoc rewrites a document's terms through the provisional→final
+// identifier table in place. A term outside the table means the spill
+// record was corrupted after it was written (DecodeDocValue validates
+// structure, not identifier range): report it rather than panic.
+func remapDoc(d *Document, remap []sequence.Term) error {
+	for _, s := range d.Sentences {
+		for i, t := range s {
+			if int(t) >= len(remap) {
+				return fmt.Errorf("corpus: %w: doc %d: term id %d outside dictionary of %d",
+					encoding.ErrCorrupt, d.ID, t, len(remap))
+			}
+			s[i] = remap[t]
+		}
+	}
+	return nil
+}

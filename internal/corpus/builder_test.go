@@ -1,0 +1,129 @@
+package corpus
+
+import (
+	"reflect"
+	"testing"
+)
+
+var builderTexts = []string{
+	"the quick brown fox jumps over the lazy dog. the fox sleeps.",
+	"a rose is a rose is a rose. the rose wilts!",
+	"the dog barks at the fox. quick quick quick.",
+	"hello world. the world is quick and brown.",
+}
+
+var builderYears = []int{1991, 1992, 1993, 1994}
+
+// TestBuilderMatchesBatch verifies a streamed build is identical to the
+// batch FromText over the same documents, both without and with a
+// budget small enough to spill every document to disk.
+func TestBuilderMatchesBatch(t *testing.T) {
+	want, err := FromText("demo", builderTexts, builderYears, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{0, 1} {
+		b := NewBuilder("demo", BuilderOptions{MemoryBudget: budget, TempDir: t.TempDir()})
+		for i, text := range builderTexts {
+			if err := b.Add(int64(i), builderYears[i], text, false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if budget == 1 && b.SpilledDocs() == 0 {
+			t.Fatal("tiny budget did not spill")
+		}
+		got, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if budget == 0 && b.SpilledDocs() != 0 {
+			t.Fatalf("default budget spilled %d docs", b.SpilledDocs())
+		}
+		if got.Name != want.Name {
+			t.Fatalf("name %q != %q", got.Name, want.Name)
+		}
+		if got.Dict.Len() != want.Dict.Len() {
+			t.Fatalf("budget=%d: dictionary size %d != %d", budget, got.Dict.Len(), want.Dict.Len())
+		}
+		for id := 0; id < want.Dict.Len(); id++ {
+			tid := uint32(id)
+			if got.Dict.Term(tid) != want.Dict.Term(tid) || got.Dict.CF(tid) != want.Dict.CF(tid) {
+				t.Fatalf("budget=%d: dictionary id %d: %q/%d != %q/%d", budget, id,
+					got.Dict.Term(tid), got.Dict.CF(tid), want.Dict.Term(tid), want.Dict.CF(tid))
+			}
+		}
+		if !reflect.DeepEqual(got.Docs, want.Docs) {
+			t.Fatalf("budget=%d: documents differ:\ngot  %+v\nwant %+v", budget, got.Docs, want.Docs)
+		}
+	}
+}
+
+// TestBuilderSpillBoundary forces a spill mid-stream (not after every
+// document) and checks document order survives the spill/buffer seam.
+func TestBuilderSpillBoundary(t *testing.T) {
+	b := NewBuilder("seam", BuilderOptions{MemoryBudget: 200, TempDir: t.TempDir()})
+	texts := []string{
+		"alpha beta gamma delta epsilon zeta eta theta iota kappa.",
+		"beta gamma alpha.",
+		"gamma alpha beta delta.",
+		"tail document stays in memory.",
+	}
+	for i, text := range texts {
+		if err := b.Add(int64(i), 0, text, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spilled := b.SpilledDocs()
+	if spilled == 0 || spilled == len(texts) {
+		t.Fatalf("want a partial spill, got %d of %d docs spilled", spilled, len(texts))
+	}
+	got, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FromText("seam", texts, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Docs, want.Docs) {
+		t.Fatalf("documents differ across the spill seam:\ngot  %+v\nwant %+v", got.Docs, want.Docs)
+	}
+}
+
+// TestBuilderWebFiltering routes web documents through the boilerplate
+// filter, like the batch path.
+func TestBuilderWebFiltering(t *testing.T) {
+	text := "Home | About | Contact\nThis is the real content of the page with many words.\nNext » Prev"
+	b := NewBuilder("web", BuilderOptions{})
+	if err := b.Add(0, 0, text, true); err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Dict.ID("about"); ok {
+		t.Fatal("boilerplate token survived filtering")
+	}
+	if _, ok := c.Dict.ID("content"); !ok {
+		t.Fatal("content token missing")
+	}
+}
+
+// TestBuilderFinishedGuard ensures a finished builder rejects further
+// use.
+func TestBuilderFinishedGuard(t *testing.T) {
+	b := NewBuilder("done", BuilderOptions{})
+	if err := b.Add(0, 0, "one document.", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(1, 0, "too late.", false); err == nil {
+		t.Fatal("Add after Finish succeeded")
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("second Finish succeeded")
+	}
+}

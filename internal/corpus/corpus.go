@@ -254,49 +254,25 @@ func (c *Collection) Input(splits int) mapreduce.Input {
 // FromText builds a collection from raw text documents: boilerplate
 // filtering (optional), sentence splitting, tokenization, dictionary
 // construction, and integer encoding — the complete pre-processing
-// pipeline of Section VII-B in one call.
+// pipeline of Section VII-B in one call. It is the batch facade over
+// the incremental Builder.
 func FromText(name string, texts []string, years []int, filterBoilerplate bool) (*Collection, error) {
 	if years != nil && len(years) != len(texts) {
 		return nil, fmt.Errorf("corpus: %d texts but %d years", len(texts), len(years))
 	}
-	type rawDoc struct {
-		year      int
-		sentences [][]string
-	}
-	raws := make([]rawDoc, 0, len(texts))
-	builder := dictionary.NewBuilder()
+	// The batch inputs are already fully resident, so spilling encoded
+	// documents to disk would only add a write-and-read-back round trip
+	// (and a temp-dir dependency): disable it with an unbounded budget.
+	b := NewBuilder(name, BuilderOptions{MemoryBudget: math.MaxInt})
 	for i, text := range texts {
-		if filterBoilerplate {
-			text = BoilerplateFilter(text)
-		}
-		var rd rawDoc
+		year := 0
 		if years != nil {
-			rd.year = years[i]
+			year = years[i]
 		}
-		for _, sent := range SplitSentences(text) {
-			toks := Tokenize(sent)
-			if len(toks) == 0 {
-				continue
-			}
-			for _, t := range toks {
-				builder.Add(t)
-			}
-			rd.sentences = append(rd.sentences, toks)
+		if err := b.Add(int64(i), year, text, filterBoilerplate); err != nil {
+			b.Discard()
+			return nil, err
 		}
-		raws = append(raws, rd)
 	}
-	dict := builder.Build()
-	c := &Collection{Name: name, Dict: dict}
-	for i, rd := range raws {
-		doc := Document{ID: int64(i), Year: rd.year}
-		for _, toks := range rd.sentences {
-			s, err := dict.Encode(toks)
-			if err != nil {
-				return nil, err
-			}
-			doc.Sentences = append(doc.Sentences, s)
-		}
-		c.Docs = append(c.Docs, doc)
-	}
-	return c, nil
+	return b.Finish()
 }

@@ -157,8 +157,11 @@ type Job struct {
 	// Hadoop's distributed cache (used by APRIORI-SCAN for the frequent
 	// (k−1)-gram dictionary).
 	SideData map[string][]byte
-	// Logf, if non-nil, receives progress messages.
-	Logf func(format string, args ...any)
+	// Progress, if non-nil, receives structured job lifecycle events
+	// (job/phase starts, per-task completions, the final summary) plus
+	// live handles on the job's counters and shuffle transfer. Wrap a
+	// printf-style logger with LogProgress for the old Logf behaviour.
+	Progress Progress
 }
 
 // Result is the outcome of a job.
@@ -206,8 +209,19 @@ func (j *Job) withDefaults() *Job {
 	if cp.Sink == nil {
 		cp.Sink = MemSinkFactory()
 	}
+	if cp.Progress == nil {
+		cp.Progress = nopProgress{}
+	}
 	return &cp
 }
+
+// nopProgress is the default sink when a job has none configured.
+type nopProgress struct{}
+
+func (nopProgress) JobStart(JobInfo)          {}
+func (nopProgress) PhaseStart(string, string) {}
+func (nopProgress) TaskDone(string, string)   {}
+func (nopProgress) JobDone(JobSummary)        {}
 
 func compareBytes(a, b []byte) int {
 	n := len(a)
@@ -242,9 +256,6 @@ func Run(ctx context.Context, job *Job) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: job %q: input splits: %w", j.Name, err)
 	}
-	if j.Logf != nil {
-		j.Logf("job %s: %d map tasks, %d reducers", j.Name, len(splits), j.NumReducers)
-	}
 
 	sink, err := j.Sink(j.NumReducers)
 	if err != nil {
@@ -254,12 +265,24 @@ func Run(ctx context.Context, job *Job) (*Result, error) {
 	res := &Result{Counters: counters, MapTasks: len(splits), ReduceTasks: j.NumReducers}
 
 	if j.NewReducer == nil {
+		j.Progress.JobStart(JobInfo{
+			Name: j.Name, MapTasks: len(splits), Counters: counters,
+		})
 		if err := runMapOnly(ctx, j, splits, sink, counters); err != nil {
 			return nil, err
 		}
 		res.ReduceTasks = 0
 	} else {
-		if err := runMapReduce(ctx, j, splits, sink, counters); err != nil {
+		// Measured shuffle transfer: every map task's shuffle sorters
+		// write encoded run bytes into this instance and reduce-side
+		// merges account their reads to it; handing it to the progress
+		// sink makes the transfer observable while the job runs.
+		shuffleIO := &extsort.IOStats{}
+		j.Progress.JobStart(JobInfo{
+			Name: j.Name, MapTasks: len(splits), ReduceTasks: j.NumReducers,
+			Counters: counters, ShuffleIO: shuffleIO,
+		})
+		if err := runMapReduce(ctx, j, splits, sink, shuffleIO, counters); err != nil {
 			return nil, err
 		}
 	}
@@ -270,9 +293,7 @@ func Run(ctx context.Context, job *Job) (*Result, error) {
 	}
 	res.Output = out
 	res.Wallclock = time.Since(start)
-	if j.Logf != nil {
-		j.Logf("job %s: done in %v (%d records out)", j.Name, res.Wallclock, out.Records())
-	}
+	j.Progress.JobDone(Summary(j.Name, res))
 	return res, nil
 }
 
@@ -285,7 +306,7 @@ func discardRuns(runSets ...[]*extsort.Run) {
 	}
 }
 
-func runMapReduce(ctx context.Context, j *Job, splits []Split, sink Sink, counters *Counters) error {
+func runMapReduce(ctx context.Context, j *Job, splits []Split, sink Sink, shuffleIO *extsort.IOStats, counters *Counters) error {
 	// Lock-free run hand-off: every map task owns its splits[taskID]
 	// slot exclusively while running, so no synchronization is needed on
 	// the write; the map-phase barrier in runTasks publishes all slots
@@ -306,21 +327,16 @@ func runMapReduce(ctx context.Context, j *Job, splits []Split, sink Sink, counte
 		sealKeep = j.ShuffleMemory * j.MapSlots / len(splits)
 	}
 
-	// Measured shuffle transfer: every map task's shuffle sorters write
-	// encoded run bytes into this instance, and the reduce-side merges
-	// account the bytes they read back to it (the runs carry the
-	// pointer), so at the end of the reduce phase it holds the job's
-	// real map→reduce byte transfer.
-	shuffleIO := &extsort.IOStats{}
-
 	// ---- Map phase: each task sorts and spills its own output. ----
 	mapStart := time.Now()
+	j.Progress.PhaseStart(j.Name, "map")
 	if err := runTasks(ctx, len(splits), j.MapSlots, func(ctx context.Context, taskID int) error {
 		runs, err := runMapTask(ctx, j, taskID, splits[taskID], sealKeep, shuffleIO, counters)
 		if err != nil {
 			return err
 		}
 		runsByTask[taskID] = runs
+		j.Progress.TaskDone(j.Name, "map")
 		return nil
 	}); err != nil {
 		discardByTask()
@@ -343,10 +359,15 @@ func runMapReduce(ctx context.Context, j *Job, splits []Split, sink Sink, counte
 
 	// ---- Reduce phase: each task multi-way merges its partition. ----
 	reduceStart := time.Now()
+	j.Progress.PhaseStart(j.Name, "reduce")
 	if err := runTasks(ctx, j.NumReducers, j.ReduceSlots, func(ctx context.Context, p int) error {
 		runs := perPart[p]
 		perPart[p] = nil // ownership passes to the reduce task
-		return runReduceTask(ctx, j, p, runs, sink, counters)
+		if err := runReduceTask(ctx, j, p, runs, sink, counters); err != nil {
+			return err
+		}
+		j.Progress.TaskDone(j.Name, "reduce")
+		return nil
 	}); err != nil {
 		discardRuns(perPart...)
 		return fmt.Errorf("mapreduce: job %q: reduce phase: %w", j.Name, err)
@@ -685,6 +706,7 @@ func runMapOnly(ctx context.Context, j *Job, splits []Split, sink Sink, counters
 	// Map-only jobs write each task's output to a per-task writer on the
 	// task's own partition index modulo R, preserving partitioning
 	// without a shuffle.
+	j.Progress.PhaseStart(j.Name, "map")
 	return runTasks(ctx, len(splits), j.MapSlots, func(ctx context.Context, taskID int) error {
 		mapper := j.NewMapper()
 		tc := &TaskContext{
@@ -726,7 +748,11 @@ func runMapOnly(ctx context.Context, j *Job, splits []Split, sink Sink, counters
 				return fmt.Errorf("map task %d cleanup: %w", taskID, err)
 			}
 		}
-		return w.Close()
+		if err := w.Close(); err != nil {
+			return err
+		}
+		j.Progress.TaskDone(j.Name, "map")
+		return nil
 	})
 }
 
@@ -792,9 +818,9 @@ type Driver struct {
 	Aggregate *Counters
 	// JobResults records per-job results in execution order.
 	JobResults []*Result
-	// Logf, if non-nil, receives progress messages and is passed to jobs
-	// without one.
-	Logf func(format string, args ...any)
+	// Progress, if non-nil, is installed on jobs run through the driver
+	// that have no sink of their own.
+	Progress Progress
 }
 
 // NewDriver returns an empty driver.
@@ -804,8 +830,8 @@ func NewDriver() *Driver {
 
 // Run executes the job and folds its counters into the aggregate.
 func (d *Driver) Run(ctx context.Context, job *Job) (*Result, error) {
-	if job.Logf == nil {
-		job.Logf = d.Logf
+	if job.Progress == nil {
+		job.Progress = d.Progress
 	}
 	res, err := Run(ctx, job)
 	if err != nil {

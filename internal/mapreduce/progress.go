@@ -1,0 +1,105 @@
+package mapreduce
+
+import "ngramstats/internal/extsort"
+
+// Progress receives live job lifecycle events, replacing the earlier
+// free-form Logf plumbing with a structured sink a caller can aggregate
+// into task counts, phase displays, or live counter reads.
+//
+// Implementations must be safe for concurrent use: TaskDone fires from
+// task goroutines while JobStart/PhaseStart/JobDone fire from the job's
+// driving goroutine.
+type Progress interface {
+	// JobStart fires once per job after input splits are computed, with
+	// the task counts and live handles of the run.
+	JobStart(info JobInfo)
+	// PhaseStart fires when a job enters its map or reduce phase.
+	PhaseStart(job, phase string)
+	// TaskDone fires after each task of the named phase completes.
+	TaskDone(job, phase string)
+	// JobDone fires once per job with its final summary.
+	JobDone(summary JobSummary)
+}
+
+// JobInfo describes a starting job. Counters and ShuffleIO are the live
+// instruments of the run: they may be read while the job executes
+// (both are concurrency-safe) to surface records emitted or encoded
+// shuffle bytes written so far.
+type JobInfo struct {
+	// Name identifies the job.
+	Name string
+	// MapTasks and ReduceTasks are the task counts the job will run
+	// (ReduceTasks is zero for map-only jobs).
+	MapTasks, ReduceTasks int
+	// Counters is the job's live counter group.
+	Counters *Counters
+	// ShuffleIO measures the job's encoded shuffle transfer as it
+	// happens; nil for map-only jobs.
+	ShuffleIO *extsort.IOStats
+}
+
+// LogProgress adapts a printf-style logger to the Progress interface,
+// reproducing the progress lines the runtime used to emit through the
+// old Logf hooks.
+func LogProgress(logf func(format string, args ...any)) Progress {
+	return &logProgress{logf: logf}
+}
+
+type logProgress struct {
+	logf func(format string, args ...any)
+}
+
+func (l *logProgress) JobStart(info JobInfo) {
+	l.logf("job %s: %d map tasks, %d reducers", info.Name, info.MapTasks, info.ReduceTasks)
+}
+
+func (l *logProgress) PhaseStart(job, phase string) {}
+
+func (l *logProgress) TaskDone(job, phase string) {}
+
+func (l *logProgress) JobDone(s JobSummary) {
+	l.logf("job %s: done in %v (%d records out)", s.Name, s.Wallclock, s.OutputRecords)
+}
+
+// MultiProgress fans every event out to each non-nil sink in order.
+func MultiProgress(sinks ...Progress) Progress {
+	var active []Progress
+	for _, s := range sinks {
+		if s != nil {
+			active = append(active, s)
+		}
+	}
+	switch len(active) {
+	case 0:
+		return nil
+	case 1:
+		return active[0]
+	}
+	return multiProgress(active)
+}
+
+type multiProgress []Progress
+
+func (m multiProgress) JobStart(info JobInfo) {
+	for _, s := range m {
+		s.JobStart(info)
+	}
+}
+
+func (m multiProgress) PhaseStart(job, phase string) {
+	for _, s := range m {
+		s.PhaseStart(job, phase)
+	}
+}
+
+func (m multiProgress) TaskDone(job, phase string) {
+	for _, s := range m {
+		s.TaskDone(job, phase)
+	}
+}
+
+func (m multiProgress) JobDone(s JobSummary) {
+	for _, p := range m {
+		p.JobDone(s)
+	}
+}

@@ -2,6 +2,7 @@ package ngramstats
 
 import (
 	"ngramstats/internal/core"
+	"ngramstats/internal/mapreduce"
 )
 
 // Method selects the algorithm used to compute n-gram statistics.
@@ -83,7 +84,9 @@ type Options struct {
 	// TempDir is the scratch directory for shuffle spills (default:
 	// system temp).
 	TempDir string
-	// Logf, if non-nil, receives progress messages.
+	// Logf, if non-nil, receives human-readable progress lines. For
+	// structured live progress (phases, task counts, live counters) use
+	// Start and poll the returned Job's Progress instead.
 	Logf func(format string, args ...any)
 }
 
@@ -92,7 +95,7 @@ func (o Options) params() (core.Method, core.Params) {
 	if o.Method == "" {
 		m = core.SuffixSigma
 	}
-	return m, core.Params{
+	p := core.Params{
 		Tau:         o.MinFrequency,
 		Sigma:       o.MaxLength,
 		NumReducers: o.Reducers,
@@ -104,6 +107,9 @@ func (o Options) params() (core.Method, core.Params) {
 		Combiner:    o.Combiner,
 		Select:      core.SelectMode(o.Selection),
 		Aggregation: core.AggregationKind(o.Aggregation),
-		Logf:        o.Logf,
 	}
+	if o.Logf != nil {
+		p.Progress = mapreduce.LogProgress(o.Logf)
+	}
+	return m, p
 }

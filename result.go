@@ -1,7 +1,8 @@
 package ngramstats
 
 import (
-	"context"
+	"errors"
+	"iter"
 	"sort"
 	"strings"
 	"time"
@@ -30,20 +31,10 @@ type NGram struct {
 // Length returns the number of words.
 func (n NGram) Length() int { return len(n.IDs) }
 
-// Result is the outcome of a Count run.
+// Result is the outcome of a computation (Count, or Start + Wait).
 type Result struct {
 	corpus *Corpus
 	run    *core.Run
-}
-
-// Count computes n-gram statistics over the corpus.
-func Count(ctx context.Context, c *Corpus, opts Options) (*Result, error) {
-	method, params := opts.params()
-	run, err := core.Compute(ctx, c.collection(), method, params)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{corpus: c, run: run}, nil
 }
 
 // Len returns the number of reported n-grams.
@@ -69,8 +60,37 @@ func (r *Result) RecordsTransferred() int64 { return r.run.RecordsTransferred() 
 // counterpart of BytesTransferred's logical byte count.
 func (r *Result) ShuffleBytes() int64 { return r.run.ShuffleBytesWritten() }
 
+// errStop is the sentinel that terminates an internal result scan
+// early without reporting an error to the caller.
+var errStop = errors.New("ngramstats: stop iteration")
+
+// NGrams returns an iterator over every reported n-gram, decoding one
+// n-gram at a time: ranging over it never materializes the result set.
+// Iteration order is unspecified. A decode error is yielded as the
+// final pair (with a zero NGram) and ends the iteration; breaking out
+// of the range stops the underlying scan immediately.
+//
+//	for ng, err := range result.NGrams() {
+//		if err != nil { ... }
+//		use(ng)
+//	}
+func (r *Result) NGrams() iter.Seq2[NGram, error] {
+	return func(yield func(NGram, error) bool) {
+		err := r.run.Result.EachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
+			if !yield(r.decode(s, agg), nil) {
+				return errStop
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStop) {
+			yield(NGram{}, err)
+		}
+	}
+}
+
 // Each calls fn for every reported n-gram. Iteration order is
-// unspecified. Returning an error from fn stops iteration.
+// unspecified. Returning an error from fn stops iteration. NGrams is
+// the range-over-func equivalent.
 func (r *Result) Each(fn func(NGram) error) error {
 	return r.run.Result.EachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
 		return fn(r.decode(s, agg))
@@ -114,8 +134,8 @@ func itoa(v uint64) string {
 	return string(buf[i:])
 }
 
-// All collects every reported n-gram. For very large results prefer
-// Each.
+// All collects every reported n-gram into a slice. For very large
+// results prefer NGrams, which streams.
 func (r *Result) All() ([]NGram, error) {
 	out := make([]NGram, 0, r.Len())
 	err := r.Each(func(ng NGram) error {
@@ -128,51 +148,160 @@ func (r *Result) All() ([]NGram, error) {
 	return out, nil
 }
 
+// rawNGram is one undecoded result entry retained by the bounded
+// top-k selection: the encoded term sequence, its aggregate, and the
+// aggregate's frequency cached for comparisons.
+type rawNGram struct {
+	seq sequence.Seq
+	agg core.Aggregate
+	cf  int64
+}
+
 // TopK returns the k most frequent n-grams, most frequent first; ties
-// break toward longer n-grams, then lexicographically.
+// break toward longer n-grams, then lexicographically. Selection
+// streams over the result with a bounded min-heap: memory and NGram
+// decodes are O(k), independent of the result size.
 func (r *Result) TopK(k int) ([]NGram, error) {
-	all, err := r.All()
-	if err != nil {
-		return nil, err
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Frequency != all[j].Frequency {
-			return all[i].Frequency > all[j].Frequency
+	return r.selectTop(k, func(a, b rawNGram) bool {
+		if a.cf != b.cf {
+			return a.cf > b.cf
 		}
-		if len(all[i].IDs) != len(all[j].IDs) {
-			return len(all[i].IDs) > len(all[j].IDs)
+		if len(a.seq) != len(b.seq) {
+			return len(a.seq) > len(b.seq)
 		}
-		return all[i].Text < all[j].Text
+		return r.seqTextLess(a.seq, b.seq)
 	})
-	if k > len(all) {
-		k = len(all)
-	}
-	return all[:k], nil
 }
 
 // Longest returns the k longest reported n-grams, longest first; ties
-// break toward higher frequency.
+// break toward higher frequency, then lexicographically. Like TopK it
+// streams with a bounded heap in O(k) memory.
 func (r *Result) Longest(k int) ([]NGram, error) {
-	all, err := r.All()
+	return r.selectTop(k, func(a, b rawNGram) bool {
+		if len(a.seq) != len(b.seq) {
+			return len(a.seq) > len(b.seq)
+		}
+		if a.cf != b.cf {
+			return a.cf > b.cf
+		}
+		return r.seqTextLess(a.seq, b.seq)
+	})
+}
+
+// selectTop streams the raw result entries through a bounded min-heap
+// keeping the k best under better, then decodes exactly the survivors.
+func (r *Result) selectTop(k int, better func(a, b rawNGram) bool) ([]NGram, error) {
+	if k < 0 {
+		k = 0
+	}
+	if n := r.Len(); int64(k) > n {
+		k = int(n)
+	}
+	t := boundedTop{k: k, better: better}
+	err := r.run.Result.EachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
+		t.offer(rawNGram{seq: s, agg: agg, cf: agg.Frequency()})
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if len(all[i].IDs) != len(all[j].IDs) {
-			return len(all[i].IDs) > len(all[j].IDs)
-		}
-		if all[i].Frequency != all[j].Frequency {
-			return all[i].Frequency > all[j].Frequency
-		}
-		return all[i].Text < all[j].Text
-	})
-	if k > len(all) {
-		k = len(all)
+	entries := t.heap
+	sort.Slice(entries, func(i, j int) bool { return better(entries[i], entries[j]) })
+	out := make([]NGram, len(entries))
+	for i, e := range entries {
+		out[i] = r.decode(e.seq, e.agg)
 	}
-	return all[:k], nil
+	return out, nil
 }
 
-// Lookup returns the statistics of the given phrase, if reported.
+// boundedTop is a min-heap of capacity k whose root is the worst
+// retained entry, so a streamed candidate either evicts the root or is
+// dropped in O(log k).
+type boundedTop struct {
+	k      int
+	better func(a, b rawNGram) bool
+	heap   []rawNGram
+}
+
+// worse orders the heap: the root must be the entry every other
+// retained entry beats.
+func (t *boundedTop) worse(a, b rawNGram) bool { return t.better(b, a) }
+
+func (t *boundedTop) offer(e rawNGram) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, e)
+		t.up(len(t.heap) - 1)
+		return
+	}
+	if !t.better(e, t.heap[0]) {
+		return
+	}
+	t.heap[0] = e
+	t.down(0)
+}
+
+func (t *boundedTop) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.worse(t.heap[i], t.heap[parent]) {
+			break
+		}
+		t.heap[i], t.heap[parent] = t.heap[parent], t.heap[i]
+		i = parent
+	}
+}
+
+func (t *boundedTop) down(i int) {
+	n := len(t.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < n && t.worse(t.heap[left], t.heap[least]) {
+			least = left
+		}
+		if right < n && t.worse(t.heap[right], t.heap[least]) {
+			least = right
+		}
+		if least == i {
+			return
+		}
+		t.heap[i], t.heap[least] = t.heap[least], t.heap[i]
+		i = least
+	}
+}
+
+// seqTextLess reports whether a's rendered text sorts before b's,
+// comparing word by word without materializing the joined strings.
+// Tokens contain no spaces and no bytes below ' ', so word-wise
+// comparison agrees with comparing strings.Join(words, " ").
+func (r *Result) seqTextLess(a, b sequence.Seq) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		wa, wb := r.word(a[i]), r.word(b[i])
+		if wa != wb {
+			return wa < wb
+		}
+	}
+	return len(a) < len(b)
+}
+
+// word renders one term the way decode does: the dictionary word, or
+// "#id" for an identifier outside the dictionary.
+func (r *Result) word(id uint32) string {
+	if w := r.corpus.Term(id); w != "" {
+		return w
+	}
+	return "#" + itoa(uint64(id))
+}
+
+// Lookup returns the statistics of the given phrase, if reported. The
+// scan stops at the first match and decodes only the matching n-gram.
 func (r *Result) Lookup(phrase string) (NGram, bool, error) {
 	words := strings.Fields(phrase)
 	ids := make(sequence.Seq, len(words))
@@ -185,14 +314,18 @@ func (r *Result) Lookup(phrase string) (NGram, bool, error) {
 	}
 	var found NGram
 	ok := false
-	err := r.Each(func(ng NGram) error {
-		if !ok && sequence.Equal(sequence.Seq(ng.IDs), ids) {
-			found = ng
-			ok = true
+	err := r.run.Result.EachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
+		if !sequence.Equal(s, ids) {
+			return nil
 		}
-		return nil
+		found = r.decode(s, agg)
+		ok = true
+		return errStop
 	})
-	return found, ok, err
+	if err != nil && !errors.Is(err, errStop) {
+		return NGram{}, false, err
+	}
+	return found, ok, nil
 }
 
 // Release frees the result's backing storage. The result must not be
