@@ -16,6 +16,7 @@ package ngramstats
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -388,4 +389,81 @@ func BenchmarkPublicAPI(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// fig7Index persists the fig7 SUFFIX-σ result as an on-disk index (4
+// shards, 128 precomputed top records) and opens it for querying.
+func fig7Index(b *testing.B) *Index {
+	b.Helper()
+	res := fig7Result(b)
+	defer res.Release()
+	dir := filepath.Join(b.TempDir(), "idx")
+	if err := res.SaveWith(dir, SaveOptions{Shards: 4, TopDepth: 128}); err != nil {
+		b.Fatal(err)
+	}
+	ix, err := OpenIndex(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ix.Close() })
+	return ix
+}
+
+// BenchmarkIndexLookup measures the serving-path point lookup over a
+// saved index: shard binary search, block binary search, and the
+// decoded-block cache — the hot path of one ngramsd /lookup request.
+// The phrase mix is 64 frequent phrases plus one guaranteed miss.
+func BenchmarkIndexLookup(b *testing.B) {
+	ix := fig7Index(b)
+	top, err := ix.TopK(64)
+	if err != nil || len(top) == 0 {
+		b.Fatalf("TopK: %v (%d)", err, len(top))
+	}
+	phrases := make([]string, 0, len(top)+1)
+	for _, ng := range top {
+		phrases = append(phrases, ng.Text)
+	}
+	phrases = append(phrases, "xylophone zzyzx")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := phrases[i%len(phrases)]
+		_, ok, err := ix.Lookup(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok && p != "xylophone zzyzx" {
+			b.Fatalf("Lookup(%q) missed", p)
+		}
+	}
+	b.StopTimer()
+	if hits, misses := ix.CacheStats(); hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses), "cachehit/op")
+	}
+}
+
+// BenchmarkIndexTopK measures both TopK serving paths of a saved
+// index: "stored" answers from the precomputed top records without
+// touching the shards; "scan" exceeds the stored depth and falls back
+// to the full streaming selection.
+func BenchmarkIndexTopK(b *testing.B) {
+	ix := fig7Index(b)
+	b.Run("stored", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			top, err := ix.TopK(100)
+			if err != nil || len(top) != 100 {
+				b.Fatalf("TopK(100): %v (%d)", err, len(top))
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			top, err := ix.TopK(500)
+			if err != nil || len(top) != 500 {
+				b.Fatalf("TopK(500): %v (%d)", err, len(top))
+			}
+		}
+	})
 }

@@ -11,6 +11,13 @@
 // all raw text in memory. Example:
 //
 //	ngrams -tau 5 -sigma 5 -top 20 books/*.txt
+//
+// The result can outlive the run: -save dir persists it as a sharded
+// on-disk index (servable later with cmd/ngramsd), and -serve :8091
+// serves it over HTTP right away:
+//
+//	ngrams -tau 5 -save /data/books-idx books/*.txt
+//	ngrams -tau 5 -serve :8091 books/*.txt
 package main
 
 import (
@@ -20,9 +27,12 @@ import (
 	"fmt"
 	"iter"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ngramstats"
+	"ngramstats/internal/serving"
 )
 
 func main() {
@@ -41,6 +51,8 @@ func main() {
 		stats    = flag.Bool("stats", false, "print run statistics (jobs, bytes, records, time)")
 		progress = flag.Bool("progress", false, "print live progress while computing")
 		mem      = flag.Int("mem", 0, "corpus builder memory budget in MiB (0 = default)")
+		save     = flag.String("save", "", "persist the result as a queryable index in this directory")
+		serve    = flag.String("serve", "", "serve the result over HTTP on this address (e.g. :8091) until interrupted")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -120,6 +132,51 @@ func main() {
 		fmt.Printf("\njobs=%d wallclock=%v bytes=%d shuffle-bytes=%d records=%d\n",
 			result.Jobs(), result.Wallclock(), result.BytesTransferred(), result.ShuffleBytes(), result.RecordsTransferred())
 	}
+	if *save != "" {
+		if err := result.Save(*save); err != nil {
+			fmt.Fprintln(os.Stderr, "ngrams: save:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ngrams: saved index with %d n-grams to %s\n", result.Len(), *save)
+	}
+	if *serve != "" {
+		if err := serveResult(ctx, result, *save, *serve); err != nil {
+			fmt.Fprintln(os.Stderr, "ngrams: serve:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// serveResult exposes the computed result over HTTP: the result is
+// persisted as an index (reusing savedDir when -save already wrote
+// one, else a temporary directory) and served until interrupted.
+func serveResult(ctx context.Context, result *ngramstats.Result, savedDir, addr string) error {
+	dir := savedDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "ngrams-serve-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+		if err := result.Save(dir); err != nil {
+			return err
+		}
+	}
+	ix, err := ngramstats.OpenIndex(dir)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ready := make(chan string, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "ngrams: serving %d n-grams on http://%s (/lookup /prefix /topk /healthz /metrics); interrupt to stop\n",
+			ix.Len(), <-ready)
+	}()
+	return serving.ListenAndServe(ctx, addr, serving.New(map[string]*ngramstats.Index{"input": ix}), ready)
 }
 
 // watch prints progress snapshots to stderr until the job finishes.

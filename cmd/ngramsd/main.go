@@ -1,0 +1,90 @@
+// Command ngramsd serves persistent n-gram indexes over HTTP: the
+// query daemon downstream of a computation saved with ngrams -save or
+// Result.Save.
+//
+// Usage:
+//
+//	ngramsd -index /data/books-idx
+//	ngramsd -addr :8091 -index nyt=/data/nyt-idx -index web=/data/web-idx
+//
+// Each -index flag names one index directory, optionally as
+// name=path; without a name the directory's base name is used. With a
+// single index the name may be omitted from queries:
+//
+//	curl 'localhost:8091/lookup?q=new+york'
+//	curl 'localhost:8091/prefix?q=new&limit=10'
+//	curl 'localhost:8091/topk?k=25&index=nyt'
+//	curl 'localhost:8091/healthz'
+//	curl 'localhost:8091/metrics'
+//
+// The daemon is read-only and serves all indexes concurrently; shut it
+// down with SIGINT or SIGTERM (in-flight requests drain gracefully).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"ngramstats"
+	"ngramstats/internal/serving"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("ngramsd: ")
+
+	var specs []string
+	addr := flag.String("addr", ":8091", "listen address")
+	cacheBlocks := flag.Int("cache-blocks", 0, "decoded-block cache size per index in blocks (0 = default 128, negative = disabled)")
+	flag.Func("index", "index directory to serve, optionally name=path (repeatable)", func(v string) error {
+		specs = append(specs, v)
+		return nil
+	})
+	flag.Parse()
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "ngramsd: at least one -index is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	indexes := make(map[string]*ngramstats.Index, len(specs))
+	for _, spec := range specs {
+		// name=path only when the part before '=' looks like a name: a
+		// path separator there means the '=' belongs to a bare path
+		// (e.g. -index /data/run=3/idx).
+		name, dir, ok := strings.Cut(spec, "=")
+		if !ok || strings.ContainsAny(name, `/\`) {
+			dir = spec
+			name = filepath.Base(filepath.Clean(spec))
+		}
+		if _, dup := indexes[name]; dup {
+			log.Fatalf("duplicate index name %q (use name=path to disambiguate)", name)
+		}
+		ix, err := ngramstats.OpenIndexWith(dir, ngramstats.IndexOptions{CacheBlocks: *cacheBlocks})
+		if err != nil {
+			log.Fatalf("open index %s: %v", dir, err)
+		}
+		defer ix.Close()
+		indexes[name] = ix
+		log.Printf("serving %q: %d n-grams in %d shards (corpus %q)",
+			name, ix.Len(), ix.Shards(), ix.Corpus())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := serving.New(indexes)
+	ready := make(chan string, 1)
+	go func() { log.Printf("listening on %s", <-ready) }()
+	if err := serving.ListenAndServe(ctx, *addr, srv, ready); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Printf("shut down cleanly")
+}

@@ -52,6 +52,39 @@
 // min-heap in O(k) memory rather than materializing the result; Lookup
 // stops at its first match.
 //
+// # Persistence and serving
+//
+// A Result can outlive its process: Result.Save persists it as a
+// sharded on-disk index — globally sorted records in the shuffle's
+// block-framed, front-coded, CRC-checked run format, plus the corpus
+// dictionary, precomputed top-k records, and a checksummed manifest —
+// and OpenIndex reopens it with answers byte-identical to the live
+// Result's:
+//
+//	if err := result.Save("/data/books-idx"); err != nil { ... }
+//	index, err := ngramstats.OpenIndex("/data/books-idx")
+//	if err != nil { ... }
+//	defer index.Close()
+//	ng, found, err := index.Lookup("new york")
+//	extensions, err := index.Prefix("new york", 10)
+//	top, err := index.TopK(25)
+//
+// An Index is built for serving: all state is immutable after open, a
+// point lookup reads exactly one shard block (found by binary search
+// over the manifest's shard ranges and the shard footer's first-key
+// index), a decoded-block LRU cache keeps hot blocks resident, and any
+// number of goroutines may query concurrently without locking. Index
+// adds Prefix — every indexed phrase extending a word sequence — which
+// the sorted layout serves as a bounded range scan. TopK up to the
+// saved precomputation depth (SaveOptions.TopDepth) never scans.
+// Damage to any index file — truncation, bit flips, missing files —
+// surfaces as an error wrapping index.ErrCorrupt or
+// extsort.ErrCorruptRun, never as silently wrong statistics.
+//
+// The cmd/ngramsd daemon serves one or more indexes over HTTP
+// (/lookup, /prefix, /topk, /healthz, /metrics), and cmd/ngrams can
+// save (-save) or compute-and-serve (-serve) directly.
+//
 // # Quick start
 //
 //	builder := ngramstats.NewCorpusBuilder("demo", ngramstats.BuilderOptions{})

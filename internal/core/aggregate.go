@@ -108,6 +108,13 @@ func decodeAggregate(kind AggregationKind, v []byte) (Aggregate, error) {
 	return agg, nil
 }
 
+// DecodeAggregate decodes an encoded aggregate value of the given kind.
+// The persistent index stores reducer-encoded values verbatim and
+// decodes them on the serving path through this entry point.
+func DecodeAggregate(kind AggregationKind, v []byte) (Aggregate, error) {
+	return decodeAggregate(kind, v)
+}
+
 // countAggregate counts occurrences. Encoded form: uvarint(count).
 type countAggregate struct {
 	n int64

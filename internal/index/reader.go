@@ -1,0 +1,429 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"ngramstats/internal/dictionary"
+	"ngramstats/internal/extsort"
+	"ngramstats/internal/kvstore"
+)
+
+// Options configures Open.
+type Options struct {
+	// CacheBlocks bounds the decoded-block LRU cache in blocks (a block
+	// decodes to ~64 KiB). Zero selects 128; negative disables caching.
+	CacheBlocks int
+}
+
+// Index is a read-only handle on a committed index directory. All state
+// is immutable after Open and shard reads use pread, so any number of
+// goroutines may query one Index concurrently without external locking.
+type Index struct {
+	dir    string
+	man    manifest
+	dict   *dictionary.Dictionary
+	shards []*shard
+	top    *extsort.DecodedBlock // nil when absent; rank order
+	topN   int64
+	cache  *kvstore.LRU
+}
+
+// shard is one open sorted shard.
+type shard struct {
+	f    *os.File
+	rr   *extsort.RunReader
+	info shardInfo
+}
+
+// Open validates and opens an index directory. The manifest inventory
+// is cross-checked against the files on disk (sizes, record counts,
+// dictionary checksum, shard key ranges); damage detectable without
+// reading every block fails here, and per-block damage fails at the
+// query that touches it — in both cases with an error wrapping
+// ErrCorrupt or extsort.ErrCorruptRun, never wrong answers.
+func Open(dir string, opts Options) (*Index, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("index: open %s: %w", dir, err)
+	}
+	crcData, err := os.ReadFile(filepath.Join(dir, ManifestCRCFile))
+	if err != nil {
+		return nil, fmt.Errorf("index: read manifest checksum: %w", err)
+	}
+	// Exact-content comparison: every byte of the checksum file is
+	// meaningful, so any damage to it (or the manifest) is detected.
+	if want := fmt.Sprintf("%08x\n", crc32.Checksum(data, crcTable)); string(crcData) != want {
+		return nil, corruptf("manifest checksum mismatch")
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, corruptf("parse manifest: %v", err)
+	}
+	if man.Version != FormatVersion {
+		return nil, corruptf("unsupported index format version %d", man.Version)
+	}
+	ix := &Index{dir: dir, man: man}
+	if opts.CacheBlocks == 0 {
+		opts.CacheBlocks = 128
+	}
+	if opts.CacheBlocks > 0 {
+		ix.cache = kvstore.NewLRU(opts.CacheBlocks)
+	}
+
+	if err := ix.loadDictionary(); err != nil {
+		return nil, err
+	}
+
+	var records int64
+	var prevLast []byte
+	for i, si := range man.Shards {
+		sh, err := openShard(dir, si)
+		if err != nil {
+			ix.Close()
+			return nil, err
+		}
+		ix.shards = append(ix.shards, sh)
+		records += si.Records
+		if len(si.FirstKey) == 0 || bytes.Compare(si.FirstKey, si.LastKey) > 0 {
+			ix.Close()
+			return nil, corruptf("shard %d has inverted key range", i)
+		}
+		if prevLast != nil && bytes.Compare(prevLast, si.FirstKey) >= 0 {
+			ix.Close()
+			return nil, corruptf("shard %d overlaps its predecessor", i)
+		}
+		prevLast = si.LastKey
+	}
+	if records != man.Records {
+		ix.Close()
+		return nil, corruptf("shards hold %d records, manifest declares %d", records, man.Records)
+	}
+
+	if man.Top != nil {
+		if err := ix.loadTop(); err != nil {
+			ix.Close()
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+func (ix *Index) loadDictionary() error {
+	path := filepath.Join(ix.dir, ix.man.Dict.File)
+	if ix.man.Dict.File == "" {
+		return corruptf("manifest names no dictionary")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("index: read dictionary: %w", err)
+	}
+	if int64(len(data)) != ix.man.Dict.Bytes {
+		return corruptf("dictionary is %d bytes, manifest declares %d", len(data), ix.man.Dict.Bytes)
+	}
+	if crc32.Checksum(data, crcTable) != ix.man.Dict.CRC {
+		return corruptf("dictionary checksum mismatch")
+	}
+	d, err := dictionary.Load(bytes.NewReader(data))
+	if err != nil {
+		return corruptf("parse dictionary: %v", err)
+	}
+	ix.dict = d
+	return nil
+}
+
+func openShard(dir string, si shardInfo) (*shard, error) {
+	path := filepath.Join(dir, si.File)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: open shard: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("index: stat shard: %w", err)
+	}
+	if st.Size() != si.Bytes {
+		f.Close()
+		return nil, corruptf("shard %s is %d bytes, manifest declares %d", si.File, st.Size(), si.Bytes)
+	}
+	rr, err := extsort.OpenRunReader(st.Size(), fileReadAt(f))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("index: open shard %s: %w", si.File, err)
+	}
+	if rr.Records() != si.Records {
+		f.Close()
+		return nil, corruptf("shard %s holds %d records, manifest declares %d", si.File, rr.Records(), si.Records)
+	}
+	if rr.NumBlocks() > 0 && !bytes.Equal(rr.FirstKey(0), si.FirstKey) {
+		f.Close()
+		return nil, corruptf("shard %s first key disagrees with manifest", si.File)
+	}
+	return &shard{f: f, rr: rr, info: si}, nil
+}
+
+func fileReadAt(f *os.File) extsort.ReadAtFunc {
+	return func(off int64, n int) ([]byte, error) {
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, off); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+}
+
+// loadTop eagerly decodes the precomputed top records (a handful of
+// blocks at most) so TopK within the stored depth is a slice read.
+func (ix *Index) loadTop() error {
+	ti := *ix.man.Top
+	path := filepath.Join(ix.dir, ti.File)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("index: open top records: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("index: stat top records: %w", err)
+	}
+	if st.Size() != ti.Bytes {
+		return corruptf("top records file is %d bytes, manifest declares %d", st.Size(), ti.Bytes)
+	}
+	rr, err := extsort.OpenRunReader(st.Size(), fileReadAt(f))
+	if err != nil {
+		return fmt.Errorf("index: open top records: %w", err)
+	}
+	if rr.Records() != ti.Records {
+		return corruptf("top records file holds %d records, manifest declares %d", rr.Records(), ti.Records)
+	}
+	// Merge the blocks into one, preserving order.
+	merged := &extsort.DecodedBlock{}
+	for b := 0; b < rr.NumBlocks(); b++ {
+		blk, err := rr.ReadBlock(b)
+		if err != nil {
+			return fmt.Errorf("index: read top records: %w", err)
+		}
+		for i := 0; i < blk.Len(); i++ {
+			merged.Append(blk.Key(i), blk.Value(i))
+		}
+	}
+	ix.top = merged
+	ix.topN = ti.Records
+	return nil
+}
+
+// Close releases the open shard files. In-flight queries on other
+// goroutines must have completed.
+func (ix *Index) Close() error {
+	var first error
+	for _, sh := range ix.shards {
+		if err := sh.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	ix.shards = nil
+	return first
+}
+
+// Records returns the number of indexed n-grams.
+func (ix *Index) Records() int64 { return ix.man.Records }
+
+// Corpus returns the corpus name recorded at save time.
+func (ix *Index) Corpus() string { return ix.man.Corpus }
+
+// Kind returns the aggregation kind of the record values (the integer
+// value of core.AggregationKind).
+func (ix *Index) Kind() int { return ix.man.Kind }
+
+// Jobs returns the number of MapReduce jobs of the producing run.
+func (ix *Index) Jobs() int { return ix.man.Jobs }
+
+// Wallclock returns the producing run's total elapsed time.
+func (ix *Index) Wallclock() time.Duration { return time.Duration(ix.man.WallclockNS) }
+
+// Counters returns a copy of the producing run's counter snapshot.
+func (ix *Index) Counters() map[string]int64 {
+	out := make(map[string]int64, len(ix.man.Counters))
+	for k, v := range ix.man.Counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Shards returns the number of shard files.
+func (ix *Index) Shards() int { return len(ix.shards) }
+
+// Dictionary returns the term dictionary recorded at save time.
+func (ix *Index) Dictionary() *dictionary.Dictionary { return ix.dict }
+
+// CacheStats returns the cumulative hit and miss counts of the decoded-
+// block cache (both zero when caching is disabled).
+func (ix *Index) CacheStats() (hits, misses int64) {
+	if ix.cache == nil {
+		return 0, 0
+	}
+	return ix.cache.Stats()
+}
+
+// TopRecords returns the first k precomputed top records in rank order,
+// or false when fewer than k are stored (the caller must then fall back
+// to a full scan). The returned slices must not be modified.
+func (ix *Index) TopRecords(k int) (keys, values [][]byte, ok bool) {
+	if ix.top == nil || int64(k) > ix.topN {
+		return nil, nil, false
+	}
+	keys = make([][]byte, k)
+	values = make([][]byte, k)
+	for i := 0; i < k; i++ {
+		keys[i] = ix.top.Key(i)
+		values[i] = ix.top.Value(i)
+	}
+	return keys, values, true
+}
+
+// TopStored returns how many precomputed top records the index holds.
+func (ix *Index) TopStored() int64 { return ix.topN }
+
+// block returns the decoded block b of shard s, through the cache when
+// useCache is set.
+func (ix *Index) block(s, b int, useCache bool) (*extsort.DecodedBlock, error) {
+	if !useCache || ix.cache == nil {
+		return ix.shards[s].rr.ReadBlock(b)
+	}
+	var kb [8]byte
+	binary.LittleEndian.PutUint32(kb[0:4], uint32(s))
+	binary.LittleEndian.PutUint32(kb[4:8], uint32(b))
+	key := string(kb[:])
+	if v, ok := ix.cache.Get(key); ok {
+		return v.(*extsort.DecodedBlock), nil
+	}
+	blk, err := ix.shards[s].rr.ReadBlock(b)
+	if err != nil {
+		return nil, err
+	}
+	ix.cache.Put(key, blk)
+	return blk, nil
+}
+
+// findShard returns the index of the only shard whose key range can
+// contain key, or -1.
+func (ix *Index) findShard(key []byte) int {
+	i := sort.Search(len(ix.shards), func(i int) bool {
+		return bytes.Compare(ix.shards[i].info.FirstKey, key) > 0
+	}) - 1
+	if i < 0 || bytes.Compare(key, ix.shards[i].info.LastKey) > 0 {
+		return -1
+	}
+	return i
+}
+
+// Get returns the value stored under key, if any. The lookup touches
+// exactly one block, served from the cache when hot. The returned slice
+// aliases immutable cache memory and must not be modified.
+func (ix *Index) Get(key []byte) ([]byte, bool, error) {
+	s := ix.findShard(key)
+	if s < 0 {
+		return nil, false, nil
+	}
+	b := ix.shards[s].rr.FindBlock(key, nil)
+	if b < 0 {
+		return nil, false, nil
+	}
+	blk, err := ix.block(s, b, true)
+	if err != nil {
+		return nil, false, err
+	}
+	if i, ok := blk.Search(key, nil); ok {
+		return blk.Value(i), true, nil
+	}
+	return nil, false, nil
+}
+
+// errStopScan terminates a scan early without reporting an error.
+var errStopScan = errors.New("index: stop scan")
+
+// StopScan returns the sentinel a Scan callback may return to end the
+// scan early; Scan then returns nil.
+func StopScan() error { return errStopScan }
+
+// Scan calls fn for every record with lo ≤ key < hi in ascending key
+// order (nil bounds are unbounded). Bounded scans are served through
+// the block cache; full scans bypass it so one NGrams pass cannot evict
+// the hot set. The slices passed to fn are valid only during the call.
+func (ix *Index) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
+	useCache := lo != nil || hi != nil
+	s := 0
+	if lo != nil {
+		s = sort.Search(len(ix.shards), func(i int) bool {
+			return bytes.Compare(ix.shards[i].info.LastKey, lo) >= 0
+		})
+	}
+	for ; s < len(ix.shards); s++ {
+		sh := ix.shards[s]
+		if hi != nil && bytes.Compare(sh.info.FirstKey, hi) >= 0 {
+			return nil
+		}
+		b := 0
+		if lo != nil {
+			if fb := sh.rr.FindBlock(lo, nil); fb > 0 {
+				b = fb
+			}
+		}
+		for ; b < sh.rr.NumBlocks(); b++ {
+			if hi != nil && bytes.Compare(sh.rr.FirstKey(b), hi) >= 0 {
+				return nil
+			}
+			blk, err := ix.block(s, b, useCache)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < blk.Len(); i++ {
+				k := blk.Key(i)
+				if lo != nil && bytes.Compare(k, lo) < 0 {
+					continue
+				}
+				if hi != nil && bytes.Compare(k, hi) >= 0 {
+					return nil
+				}
+				if err := fn(k, blk.Value(i)); err != nil {
+					if errors.Is(err, errStopScan) {
+						return nil
+					}
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ScanPrefix calls fn for every record whose key starts with the given
+// byte prefix, in ascending key order. An empty prefix scans everything.
+func (ix *Index) ScanPrefix(prefix []byte, fn func(key, value []byte) error) error {
+	if len(prefix) == 0 {
+		return ix.Scan(nil, nil, fn)
+	}
+	return ix.Scan(prefix, PrefixSuccessor(prefix), fn)
+}
+
+// PrefixSuccessor returns the smallest key greater than every key with
+// the given prefix, or nil when no such bound exists (all-0xFF prefix).
+func PrefixSuccessor(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xFF {
+			succ := append([]byte(nil), prefix[:i+1]...)
+			succ[i]++
+			return succ
+		}
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ngramstats/internal/extsort"
+)
+
+// WriterOptions configures an index build.
+type WriterOptions struct {
+	// Corpus names the corpus the records were computed over.
+	Corpus string
+	// Kind is the aggregation kind of the record values (the integer
+	// value of core.AggregationKind; this package does not interpret
+	// values beyond storing them).
+	Kind int
+	// Records is the exact number of records that will be appended.
+	// Commit fails on a mismatch — the count drives shard cutting and
+	// is the reader's consistency anchor.
+	Records int64
+	// Shards is the desired shard count; values < 1 select 1 and the
+	// effective count never exceeds the record count.
+	Shards int
+	// Codec selects the optional per-block compression of shard files.
+	Codec extsort.Codec
+	// Jobs, Wallclock, and Counters snapshot the producing run for the
+	// manifest (all optional).
+	Jobs      int
+	Wallclock time.Duration
+	Counters  map[string]int64
+}
+
+// Writer builds an index directory. Usage: NewWriter, SetDictionary,
+// Append every record in ascending key order, optionally AppendTop the
+// precomputed top records in rank order, then Commit. The manifest is
+// written last and atomically, so a crashed or aborted build is never
+// mistaken for a complete index.
+type Writer struct {
+	dir  string
+	opts WriterOptions
+	man  manifest
+
+	perShard int64
+	appended int64
+	lastKey  []byte
+	haveDict bool
+
+	cur *shardFile // open shard being appended to
+	top *shardFile // open top.run, if any
+}
+
+// shardFile is one run file being written.
+type shardFile struct {
+	path  string
+	f     *os.File
+	bw    *bufio.Writer
+	rw    *extsort.RunWriter
+	first []byte
+	last  []byte
+}
+
+// NewWriter creates the index directory (which must not already contain
+// an index) and returns a writer for it.
+func NewWriter(dir string, opts WriterOptions) (*Writer, error) {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.Records < 0 {
+		return nil, fmt.Errorf("index: negative record count %d", opts.Records)
+	}
+	if int64(opts.Shards) > opts.Records && opts.Records > 0 {
+		opts.Shards = int(opts.Records)
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("index: create %s: %w", dir, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestFile)); err == nil {
+		return nil, fmt.Errorf("index: %s already contains an index", dir)
+	}
+	perShard := int64(1)
+	if opts.Records > 0 {
+		perShard = (opts.Records + int64(opts.Shards) - 1) / int64(opts.Shards)
+	}
+	w := &Writer{dir: dir, opts: opts, perShard: perShard}
+	w.man = manifest{
+		Version:     FormatVersion,
+		Corpus:      opts.Corpus,
+		Kind:        opts.Kind,
+		Records:     opts.Records,
+		Jobs:        opts.Jobs,
+		WallclockNS: opts.Wallclock.Nanoseconds(),
+		Counters:    opts.Counters,
+	}
+	return w, nil
+}
+
+// SetDictionary writes the dictionary file from the given serializer,
+// recording its size and CRC-32C in the manifest.
+func (w *Writer) SetDictionary(save func(io.Writer) error) error {
+	path := filepath.Join(w.dir, DictionaryFile)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index: create dictionary: %w", err)
+	}
+	crc := crc32.New(crcTable)
+	counted := &countingWriter{w: io.MultiWriter(f, crc)}
+	if err := save(counted); err != nil {
+		f.Close()
+		return fmt.Errorf("index: write dictionary: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("index: close dictionary: %w", err)
+	}
+	w.man.Dict = fileInfo{File: DictionaryFile, Bytes: counted.n, CRC: crc.Sum32()}
+	w.haveDict = true
+	return nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (w *Writer) openShard(name string) (*shardFile, error) {
+	path := filepath.Join(w.dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: create shard: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 256<<10)
+	return &shardFile{path: path, f: f, bw: bw, rw: extsort.NewRunWriter(bw, w.opts.Codec)}, nil
+}
+
+// finishShard completes the open run file and returns its inventory.
+func finishShard(s *shardFile) (fileInfo, []byte, []byte, error) {
+	size, err := s.rw.Finish()
+	if err == nil {
+		err = s.bw.Flush()
+	}
+	if err == nil {
+		err = s.f.Close()
+	} else {
+		s.f.Close()
+	}
+	if err != nil {
+		os.Remove(s.path)
+		return fileInfo{}, nil, nil, fmt.Errorf("index: finish %s: %w", s.path, err)
+	}
+	return fileInfo{File: filepath.Base(s.path), Bytes: size, Records: s.rw.Records()},
+		s.first, s.last, nil
+}
+
+// Append adds one record. Keys must arrive in strictly ascending
+// bytewise order (the result set has unique keys); violations are
+// rejected immediately rather than producing an index whose binary
+// search silently misses records.
+func (w *Writer) Append(key, value []byte) error {
+	if w.appended >= w.opts.Records {
+		return fmt.Errorf("index: more than the declared %d records appended", w.opts.Records)
+	}
+	if w.lastKey != nil && bytes.Compare(key, w.lastKey) <= 0 {
+		return fmt.Errorf("index: key %x not strictly after %x", key, w.lastKey)
+	}
+	if w.cur == nil {
+		s, err := w.openShard(fmt.Sprintf("shard-%05d.run", len(w.man.Shards)))
+		if err != nil {
+			return err
+		}
+		s.first = append([]byte(nil), key...)
+		w.cur = s
+	}
+	if err := w.cur.rw.Append(key, value); err != nil {
+		return fmt.Errorf("index: append record: %w", err)
+	}
+	w.cur.last = append(w.cur.last[:0], key...)
+	w.lastKey = append(w.lastKey[:0], key...)
+	w.appended++
+	if w.cur.rw.Records() >= w.perShard {
+		if err := w.cutShard(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Writer) cutShard() error {
+	info, first, last, err := finishShard(w.cur)
+	w.cur = nil
+	if err != nil {
+		return err
+	}
+	w.man.Shards = append(w.man.Shards, shardInfo{fileInfo: info, FirstKey: first, LastKey: last})
+	return nil
+}
+
+// AppendTop adds one precomputed top record; call in rank order, best
+// first. The top file preserves append order (the run format does not
+// require sorted keys).
+func (w *Writer) AppendTop(key, value []byte) error {
+	if w.top == nil {
+		s, err := w.openShard(TopFile)
+		if err != nil {
+			return err
+		}
+		w.top = s
+	}
+	if err := w.top.rw.Append(key, value); err != nil {
+		return fmt.Errorf("index: append top record: %w", err)
+	}
+	return nil
+}
+
+// Commit finalizes the index: the open shard and top files are
+// completed and the manifest is written atomically. The writer must not
+// be used afterwards.
+func (w *Writer) Commit() error {
+	if w.appended != w.opts.Records {
+		w.Abort()
+		return fmt.Errorf("index: %d records appended, %d declared", w.appended, w.opts.Records)
+	}
+	if !w.haveDict {
+		w.Abort()
+		return fmt.Errorf("index: Commit without SetDictionary")
+	}
+	if w.cur != nil {
+		if err := w.cutShard(); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if w.top != nil {
+		info, _, _, err := finishShard(w.top)
+		w.top = nil
+		if err != nil {
+			w.Abort()
+			return err
+		}
+		w.man.Top = &info
+	}
+	if w.man.Shards == nil {
+		w.man.Shards = []shardInfo{}
+	}
+	data, err := json.MarshalIndent(&w.man, "", "  ")
+	if err != nil {
+		w.Abort()
+		return fmt.Errorf("index: encode manifest: %w", err)
+	}
+	data = append(data, '\n')
+	// The checksum lands before the manifest rename: a crash in between
+	// leaves no MANIFEST.json, so the directory is never mistaken for a
+	// complete index, and a manifest without its checksum fails Open.
+	crcLine := fmt.Sprintf("%08x\n", crc32.Checksum(data, crcTable))
+	if err := os.WriteFile(filepath.Join(w.dir, ManifestCRCFile), []byte(crcLine), 0o666); err != nil {
+		w.Abort()
+		return fmt.Errorf("index: write manifest checksum: %w", err)
+	}
+	tmp := filepath.Join(w.dir, ManifestFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o666); err != nil {
+		w.Abort()
+		return fmt.Errorf("index: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, ManifestFile)); err != nil {
+		os.Remove(tmp)
+		w.Abort()
+		return fmt.Errorf("index: commit manifest: %w", err)
+	}
+	return nil
+}
+
+// Abort removes every file the writer has produced so far. It is safe
+// to call after a failed Commit; a committed index is not removed.
+func (w *Writer) Abort() {
+	if w.cur != nil {
+		w.cur.f.Close()
+		os.Remove(w.cur.path)
+		w.cur = nil
+	}
+	if w.top != nil {
+		w.top.f.Close()
+		os.Remove(w.top.path)
+		w.top = nil
+	}
+	if _, err := os.Stat(filepath.Join(w.dir, ManifestFile)); err == nil {
+		return // committed; leave the index intact
+	}
+	for _, s := range w.man.Shards {
+		os.Remove(filepath.Join(w.dir, s.File))
+	}
+	if w.haveDict {
+		os.Remove(filepath.Join(w.dir, DictionaryFile))
+	}
+	os.Remove(filepath.Join(w.dir, TopFile))
+	os.Remove(filepath.Join(w.dir, ManifestCRCFile))
+}

@@ -22,6 +22,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ngramstats/internal/encoding"
 )
@@ -50,9 +51,17 @@ type Store struct {
 	mem      map[string][]byte
 	memBytes int
 	segments []*segment // newest last
-	cache    *lruCache
+	cache    *LRU
 	frozen   bool
 	closed   bool
+}
+
+// cached is one read-through cache entry. The presence flag makes keys
+// stored with empty values distinguishable from negative (cached-miss)
+// entries.
+type cached struct {
+	val     []byte
+	present bool
 }
 
 // Open creates an empty store.
@@ -68,7 +77,7 @@ func Open(opts Options) *Store {
 	}
 	s := &Store{opts: opts, mem: make(map[string][]byte)}
 	if opts.CacheEntries > 0 {
-		s.cache = newLRUCache(opts.CacheEntries)
+		s.cache = NewLRU(opts.CacheEntries)
 	}
 	return s
 }
@@ -91,7 +100,7 @@ func (s *Store) Put(key, value []byte) error {
 		s.memBytes += len(k) + len(value) + 48
 	}
 	if s.cache != nil {
-		s.cache.remove(k)
+		s.cache.Remove(k)
 	}
 	if s.memBytes >= s.opts.MemoryBudget {
 		return s.flushLocked()
@@ -112,11 +121,12 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 		return v, true, nil
 	}
 	if s.cache != nil {
-		if v, present, ok := s.cache.get(k); ok {
-			if !present {
+		if e, ok := s.cache.Get(k); ok {
+			c := e.(cached)
+			if !c.present {
 				return nil, false, nil // cached miss
 			}
-			return v, true, nil
+			return c.val, true, nil
 		}
 	}
 	// Newest segment first: last write wins.
@@ -127,15 +137,26 @@ func (s *Store) Get(key []byte) ([]byte, bool, error) {
 		}
 		if ok {
 			if s.cache != nil {
-				s.cache.put(k, v, true)
+				s.cache.Put(k, cached{val: v, present: true})
 			}
 			return v, true, nil
 		}
 	}
 	if s.cache != nil {
-		s.cache.put(k, nil, false) // negative cache entry
+		s.cache.Put(k, cached{}) // negative cache entry
 	}
 	return nil, false, nil
+}
+
+// CacheStats returns the cumulative hit and miss counts of the
+// read-through lookup cache (both zero when the cache is disabled).
+// Memtable hits never consult the cache and are not counted; the
+// ratio therefore measures how often a disk lookup was avoided.
+func (s *Store) CacheStats() (hits, misses int64) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.Stats()
 }
 
 // Contains reports whether key is present.
@@ -294,49 +315,66 @@ func (seg *segment) get(key []byte) ([]byte, bool, error) {
 	}
 }
 
-// lruCache is a small LRU map for read-through caching. Entries carry
-// an explicit presence flag so that keys stored with empty values are
-// distinguishable from negative (cached-miss) entries.
-type lruCache struct {
+// LRU is a bounded least-recently-used cache with measured
+// effectiveness: Get and Put are safe for concurrent use, and the
+// Stats counters report how often lookups hit. Store uses it as the
+// read-through lookup cache; the persistent n-gram index uses it as
+// the decoded-block cache on its serving path.
+type LRU struct {
 	mu   sync.Mutex
 	cap  int
 	m    map[string]*lruEntry
 	head *lruEntry // most recent
 	tail *lruEntry // least recent
+
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type lruEntry struct {
 	key        string
-	val        []byte
-	present    bool
+	val        any
 	prev, next *lruEntry
 }
 
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{cap: capacity, m: make(map[string]*lruEntry, capacity)}
+// NewLRU returns an empty cache holding at most capacity entries
+// (capacity < 1 selects 1).
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU{cap: capacity, m: make(map[string]*lruEntry, capacity)}
 }
 
-func (c *lruCache) get(k string) (v []byte, present, ok bool) {
+// Get returns the cached value for k and whether one is present,
+// marking the entry most recently used. Every call counts as a hit or
+// a miss in Stats.
+func (c *LRU) Get(k string) (any, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, found := c.m[k]
 	if !found {
-		return nil, false, false
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
 	}
 	c.moveToFront(e)
-	return e.val, e.present, true
+	v := e.val
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
 }
 
-func (c *lruCache) put(k string, v []byte, present bool) {
+// Put stores v under k, evicting the least recently used entry when
+// the cache is full.
+func (c *LRU) Put(k string, v any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.m[k]; ok {
 		e.val = v
-		e.present = present
 		c.moveToFront(e)
 		return
 	}
-	e := &lruEntry{key: k, val: v, present: present}
+	e := &lruEntry{key: k, val: v}
 	c.m[k] = e
 	c.pushFront(e)
 	if len(c.m) > c.cap {
@@ -346,7 +384,8 @@ func (c *lruCache) put(k string, v []byte, present bool) {
 	}
 }
 
-func (c *lruCache) remove(k string) {
+// Remove evicts k if cached.
+func (c *LRU) Remove(k string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.m[k]; ok {
@@ -355,7 +394,19 @@ func (c *lruCache) remove(k string) {
 	}
 }
 
-func (c *lruCache) pushFront(e *lruEntry) {
+// Len returns the number of cached entries.
+func (c *LRU) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats returns the cumulative hit and miss counts of Get.
+func (c *LRU) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+func (c *LRU) pushFront(e *lruEntry) {
 	e.prev = nil
 	e.next = c.head
 	if c.head != nil {
@@ -367,7 +418,7 @@ func (c *lruCache) pushFront(e *lruEntry) {
 	}
 }
 
-func (c *lruCache) unlink(e *lruEntry) {
+func (c *LRU) unlink(e *lruEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
@@ -381,7 +432,7 @@ func (c *lruCache) unlink(e *lruEntry) {
 	e.prev, e.next = nil, nil
 }
 
-func (c *lruCache) moveToFront(e *lruEntry) {
+func (c *LRU) moveToFront(e *lruEntry) {
 	if c.head == e {
 		return
 	}

@@ -229,25 +229,56 @@ func TestRandomizedAgainstMap(t *testing.T) {
 }
 
 func TestLRUCacheEviction(t *testing.T) {
-	c := newLRUCache(2)
-	c.put("a", []byte("1"), true)
-	c.put("b", []byte("2"), true)
-	if _, _, ok := c.get("a"); !ok {
+	c := NewLRU(2)
+	c.Put("a", "1")
+	c.Put("b", "2")
+	if _, ok := c.Get("a"); !ok {
 		t.Fatal("a evicted too early")
 	}
-	c.put("c", []byte("3"), true) // evicts b (LRU)
-	if _, _, ok := c.get("b"); ok {
+	c.Put("c", "3") // evicts b (LRU)
+	if _, ok := c.Get("b"); ok {
 		t.Fatal("b should be evicted")
 	}
-	if v, present, ok := c.get("a"); !ok || !present || string(v) != "1" {
+	if v, ok := c.Get("a"); !ok || v.(string) != "1" {
 		t.Fatal("a lost")
 	}
-	if v, present, ok := c.get("c"); !ok || !present || string(v) != "3" {
+	if v, ok := c.Get("c"); !ok || v.(string) != "3" {
 		t.Fatal("c lost")
 	}
-	c.remove("a")
-	if _, _, ok := c.get("a"); ok {
+	c.Remove("a")
+	if _, ok := c.Get("a"); ok {
 		t.Fatal("a should be removed")
+	}
+	// 5 Gets hit (a, a, c) and missed (b, removed a) as counted above.
+	if hits, misses := c.Stats(); hits != 3 || misses != 2 {
+		t.Fatalf("Stats() = %d hits, %d misses; want 3, 2", hits, misses)
+	}
+}
+
+func TestStoreCacheStats(t *testing.T) {
+	s := Open(Options{MemoryBudget: 1, TempDir: t.TempDir()})
+	defer s.Close()
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	// First Get misses the cache and fills it from the segment; the
+	// following Gets (positive and negative alike) hit.
+	for i := 0; i < 3; i++ {
+		if _, ok, err := s.Get([]byte("k")); err != nil || !ok {
+			t.Fatalf("Get k: ok=%v err=%v", ok, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok, err := s.Get([]byte("absent")); err != nil || ok {
+			t.Fatalf("Get absent: ok=%v err=%v", ok, err)
+		}
+	}
+	hits, misses := s.CacheStats()
+	if hits != 3 || misses != 2 {
+		t.Fatalf("CacheStats() = %d hits, %d misses; want 3, 2", hits, misses)
 	}
 }
 

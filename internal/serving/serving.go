@@ -1,0 +1,332 @@
+// Package serving implements the HTTP query surface of the n-gram
+// index daemon (cmd/ngramsd): point lookup, prefix scan, and top-k
+// over one or more persistent indexes opened with ngramstats.OpenIndex,
+// plus health and metrics endpoints.
+//
+// The handler is purely read-only and safe for any number of
+// concurrent requests: every query method of ngramstats.Index is
+// lock-free on the serving path (the decoded-block cache's internal
+// mutex is the only synchronization point), and the handler's own
+// bookkeeping is atomic counters.
+//
+// Endpoints:
+//
+//	GET /lookup?q=phrase[&index=name]        one phrase's statistics
+//	GET /prefix?q=phrase[&limit=n][&index=]  phrases extending q
+//	GET /topk?k=n[&index=name]               most frequent n-grams
+//	GET /healthz                             liveness + index inventory
+//	GET /metrics                             Prometheus-style text
+//
+// The index parameter is optional while exactly one index is served.
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ngramstats"
+)
+
+// Server serves one or more named indexes. Create with New; it
+// implements http.Handler.
+type Server struct {
+	indexes map[string]*ngramstats.Index
+	names   []string // sorted
+	start   time.Time
+	mux     *http.ServeMux
+
+	lookup  endpointMetrics
+	prefix  endpointMetrics
+	topk    endpointMetrics
+	healthz endpointMetrics
+}
+
+// latencyBuckets are the upper bounds of the fixed latency histogram.
+var latencyBuckets = []time.Duration{
+	time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, time.Second,
+}
+
+var bucketLabels = []string{"1ms", "10ms", "100ms", "1s", "+Inf"}
+
+// endpointMetrics tracks one endpoint's traffic: request and error
+// counts, total latency, and a fixed-bucket latency histogram. All
+// fields are atomics; recording takes no locks.
+type endpointMetrics struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	sumMicros atomic.Int64
+	maxMicros atomic.Int64
+	buckets   [5]atomic.Int64 // cumulative counts per latencyBucket, +Inf last
+}
+
+func (m *endpointMetrics) record(d time.Duration, status int) {
+	m.requests.Add(1)
+	if status >= 400 {
+		m.errors.Add(1)
+	}
+	us := d.Microseconds()
+	m.sumMicros.Add(us)
+	for {
+		old := m.maxMicros.Load()
+		if us <= old || m.maxMicros.CompareAndSwap(old, us) {
+			break
+		}
+	}
+	b := len(latencyBuckets)
+	for i, ub := range latencyBuckets {
+		if d <= ub {
+			b = i
+			break
+		}
+	}
+	m.buckets[b].Add(1)
+}
+
+// New returns a server over the given named indexes. The map is used
+// directly and must not be mutated afterwards.
+func New(indexes map[string]*ngramstats.Index) *Server {
+	s := &Server{indexes: indexes, start: time.Now(), mux: http.NewServeMux()}
+	for name := range indexes {
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	s.mux.HandleFunc("/lookup", s.instrument(&s.lookup, s.handleLookup))
+	s.mux.HandleFunc("/prefix", s.instrument(&s.prefix, s.handlePrefix))
+	s.mux.HandleFunc("/topk", s.instrument(&s.topk, s.handleTopK))
+	s.mux.HandleFunc("/healthz", s.instrument(&s.healthz, s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Names returns the served index names, sorted.
+func (s *Server) Names() []string { return append([]string(nil), s.names...) }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// statusWriter captures the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		m.record(time.Since(t0), sw.status)
+	}
+}
+
+// wireNGram is the JSON shape of one n-gram.
+type wireNGram struct {
+	Text      string          `json:"text"`
+	IDs       []uint32        `json:"ids,omitempty"`
+	Frequency int64           `json:"frequency"`
+	Years     map[int]int64   `json:"years,omitempty"`
+	Documents map[int64]int64 `json:"documents,omitempty"`
+}
+
+func toWire(ng ngramstats.NGram) wireNGram {
+	return wireNGram{
+		Text:      ng.Text,
+		IDs:       ng.IDs,
+		Frequency: ng.Frequency,
+		Years:     ng.Years,
+		Documents: ng.Documents,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// resolve picks the index a request addresses: the explicit index
+// parameter, or the only served index when the parameter is absent.
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*ngramstats.Index, string, bool) {
+	name := r.URL.Query().Get("index")
+	if name == "" {
+		if len(s.names) == 1 {
+			name = s.names[0]
+		} else {
+			writeError(w, http.StatusBadRequest,
+				"index parameter required (serving %d indexes: %v)", len(s.names), s.names)
+			return nil, "", false
+		}
+	}
+	ix, ok := s.indexes[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown index %q (serving %v)", name, s.names)
+		return nil, "", false
+	}
+	return ix, name, true
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	ix, name, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	ng, found, err := ix.Lookup(q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "lookup: %v", err)
+		return
+	}
+	resp := map[string]any{"index": name, "query": q, "found": found}
+	if found {
+		resp["ngram"] = toWire(ng)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
+	ix, name, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	limit := 100
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		v, err := strconv.Atoi(ls)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", ls)
+			return
+		}
+		limit = v
+	}
+	ngs, err := ix.Prefix(q, limit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "prefix: %v", err)
+		return
+	}
+	out := make([]wireNGram, len(ngs))
+	for i, ng := range ngs {
+		out[i] = toWire(ng)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"index": name, "query": q, "count": len(out), "ngrams": out,
+	})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	ix, name, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad k %q", ks)
+			return
+		}
+		k = v
+	}
+	ngs, err := ix.TopK(k)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "topk: %v", err)
+		return
+	}
+	out := make([]wireNGram, len(ngs))
+	for i, ng := range ngs {
+		out[i] = toWire(ng)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"index": name, "k": k, "ngrams": out,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	inv := make(map[string]int64, len(s.indexes))
+	for name, ix := range s.indexes {
+		inv[name] = ix.Len()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"uptime":  time.Since(s.start).String(),
+		"indexes": inv,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "ngramsd_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+	for _, e := range []struct {
+		name string
+		m    *endpointMetrics
+	}{
+		{"lookup", &s.lookup}, {"prefix", &s.prefix}, {"topk", &s.topk}, {"healthz", &s.healthz},
+	} {
+		fmt.Fprintf(w, "ngramsd_requests_total{endpoint=%q} %d\n", e.name, e.m.requests.Load())
+		fmt.Fprintf(w, "ngramsd_errors_total{endpoint=%q} %d\n", e.name, e.m.errors.Load())
+		fmt.Fprintf(w, "ngramsd_latency_micros_sum{endpoint=%q} %d\n", e.name, e.m.sumMicros.Load())
+		fmt.Fprintf(w, "ngramsd_latency_micros_max{endpoint=%q} %d\n", e.name, e.m.maxMicros.Load())
+		cum := int64(0)
+		for i := range e.m.buckets {
+			cum += e.m.buckets[i].Load()
+			fmt.Fprintf(w, "ngramsd_latency_bucket{endpoint=%q,le=%q} %d\n", e.name, bucketLabels[i], cum)
+		}
+	}
+	for _, name := range s.names {
+		ix := s.indexes[name]
+		hits, misses := ix.CacheStats()
+		fmt.Fprintf(w, "ngramsd_index_records{index=%q} %d\n", name, ix.Len())
+		fmt.Fprintf(w, "ngramsd_index_shards{index=%q} %d\n", name, ix.Shards())
+		fmt.Fprintf(w, "ngramsd_block_cache_hits_total{index=%q} %d\n", name, hits)
+		fmt.Fprintf(w, "ngramsd_block_cache_misses_total{index=%q} %d\n", name, misses)
+	}
+}
+
+// ListenAndServe runs srv on addr until ctx is cancelled, then shuts
+// down gracefully (in-flight requests get up to five seconds). ready,
+// if non-nil, receives the bound address once listening — tests and
+// callers using addr ":0" learn the real port from it.
+func ListenAndServe(ctx context.Context, addr string, srv *Server, ready chan<- string) error {
+	hs := &http.Server{Addr: addr, Handler: srv}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutCtx)
+	case err := <-errc:
+		return err
+	}
+}

@@ -1,0 +1,303 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"ngramstats"
+)
+
+// buildServedIndex computes statistics over a synthetic corpus, saves
+// them, and returns the live Result (the oracle) plus an open Index.
+func buildServedIndex(t *testing.T) (*ngramstats.Result, *ngramstats.Index) {
+	t.Helper()
+	corpus := ngramstats.SyntheticNYT(60, 7)
+	res, err := ngramstats.Count(context.Background(), corpus, ngramstats.Options{
+		MinFrequency: 3, MaxLength: 4, Combiner: true, TempDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { res.Release() })
+	if res.Len() == 0 {
+		t.Fatal("synthetic corpus produced no n-grams")
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := res.SaveWith(dir, ngramstats.SaveOptions{Shards: 3, TopDepth: 64}); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ngramstats.OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return res, ix
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) int {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("decode %s: %v (body %q)", url, err, body)
+		}
+	}
+	return resp.StatusCode
+}
+
+// lookupResponse mirrors the /lookup JSON shape.
+type lookupResponse struct {
+	Index string    `json:"index"`
+	Query string    `json:"query"`
+	Found bool      `json:"found"`
+	NGram wireNGram `json:"ngram"`
+}
+
+// TestServingEndToEnd is the serving-smoke oracle test: concurrent
+// HTTP clients query a saved index and every response must match the
+// in-process Result's answer. Run under -race in CI.
+func TestServingEndToEnd(t *testing.T) {
+	res, ix := buildServedIndex(t)
+	ts := httptest.NewServer(New(map[string]*ngramstats.Index{"nyt": ix}))
+	defer ts.Close()
+
+	// Oracle answers, computed once from the live Result.
+	top, err := res.TopK(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type oracleEntry struct {
+		ng    ngramstats.NGram
+		found bool
+	}
+	oracle := make(map[string]oracleEntry)
+	for ng, oerr := range res.NGrams() {
+		if oerr != nil {
+			t.Fatal(oerr)
+		}
+		oracle[ng.Text] = oracleEntry{ng: ng, found: true}
+	}
+	// A few guaranteed misses.
+	for _, miss := range []string{"zzz qqq xyzzy", "no such phrase whatsoever"} {
+		oracle[miss] = oracleEntry{}
+	}
+	phrases := make([]string, 0, len(oracle))
+	for p := range oracle {
+		phrases = append(phrases, p)
+	}
+
+	const clients = 32
+	const perClient = 40
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < perClient; i++ {
+				p := phrases[(c*perClient+i*13)%len(phrases)]
+				want := oracle[p]
+				var got lookupResponse
+				status := getJSON(t, client, ts.URL+"/lookup?q="+urlQuery(p), &got)
+				if status != http.StatusOK {
+					t.Errorf("client %d: /lookup status %d", c, status)
+					return
+				}
+				if got.Found != want.found {
+					t.Errorf("client %d: Lookup(%q) found=%v, oracle says %v", c, p, got.Found, want.found)
+					return
+				}
+				if want.found && !reflect.DeepEqual(got.NGram, toWire(want.ng)) {
+					t.Errorf("client %d: Lookup(%q) = %+v, oracle %+v", c, p, got.NGram, toWire(want.ng))
+					return
+				}
+				// Every few requests, cross-check /topk against the oracle.
+				if i%10 == 0 {
+					var tr struct {
+						NGrams []wireNGram `json:"ngrams"`
+					}
+					if s := getJSON(t, client, ts.URL+"/topk?k=20", &tr); s != http.StatusOK {
+						t.Errorf("client %d: /topk status %d", c, s)
+						return
+					}
+					if len(tr.NGrams) != len(top) {
+						t.Errorf("client %d: /topk returned %d, oracle %d", c, len(tr.NGrams), len(top))
+						return
+					}
+					for j := range top {
+						if !reflect.DeepEqual(tr.NGrams[j], toWire(top[j])) {
+							t.Errorf("client %d: /topk[%d] = %+v, oracle %+v", c, j, tr.NGrams[j], toWire(top[j]))
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// After the storm, metrics reflect the traffic and cache activity.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		`ngramsd_requests_total{endpoint="lookup"}`,
+		`ngramsd_block_cache_hits_total{index="nyt"}`,
+		`ngramsd_index_records{index="nyt"}`,
+		`ngramsd_latency_bucket{endpoint="lookup",le="+Inf"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	var lookups int64
+	fmt.Sscanf(findLine(metrics, `ngramsd_requests_total{endpoint="lookup"}`), "%d", &lookups)
+	if lookups < clients*perClient {
+		t.Fatalf("metrics count %d lookups, expected >= %d", lookups, clients*perClient)
+	}
+}
+
+// urlQuery escapes a phrase for use as a query parameter.
+func urlQuery(p string) string {
+	return strings.ReplaceAll(p, " ", "+")
+}
+
+// findLine returns the remainder of the first metrics line starting
+// with prefix.
+func findLine(metrics, prefix string) string {
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return strings.TrimSpace(strings.TrimPrefix(line, prefix))
+		}
+	}
+	return ""
+}
+
+func TestServingPrefixEndpoint(t *testing.T) {
+	res, ix := buildServedIndex(t)
+	ts := httptest.NewServer(New(map[string]*ngramstats.Index{"nyt": ix}))
+	defer ts.Close()
+
+	// Pick the most frequent unigram as a prefix with extensions.
+	top, err := res.TopK(1)
+	if err != nil || len(top) == 0 {
+		t.Fatalf("TopK: %v", err)
+	}
+	word := strings.Fields(top[0].Text)[0]
+
+	var pr struct {
+		Count  int         `json:"count"`
+		NGrams []wireNGram `json:"ngrams"`
+	}
+	if s := getJSON(t, ts.Client(), ts.URL+"/prefix?q="+urlQuery(word)+"&limit=50", &pr); s != http.StatusOK {
+		t.Fatalf("/prefix status %d", s)
+	}
+	if pr.Count == 0 {
+		t.Fatalf("no extensions of %q", word)
+	}
+	for _, ng := range pr.NGrams {
+		if ng.Text != word && !strings.HasPrefix(ng.Text, word+" ") {
+			t.Fatalf("/prefix returned non-extension %q of %q", ng.Text, word)
+		}
+		// Oracle agreement per phrase.
+		want, ok, err := res.Lookup(ng.Text)
+		if err != nil || !ok {
+			t.Fatalf("oracle Lookup(%q): ok=%v err=%v", ng.Text, ok, err)
+		}
+		if !reflect.DeepEqual(ng, toWire(want)) {
+			t.Fatalf("/prefix %q = %+v, oracle %+v", ng.Text, ng, toWire(want))
+		}
+	}
+}
+
+func TestServingValidationAndHealth(t *testing.T) {
+	_, ix := buildServedIndex(t)
+	ts := httptest.NewServer(New(map[string]*ngramstats.Index{"a": ix, "b": ix}))
+	defer ts.Close()
+	client := ts.Client()
+
+	// Ambiguous index with two served.
+	if s := getJSON(t, client, ts.URL+"/lookup?q=x", nil); s != http.StatusBadRequest {
+		t.Fatalf("ambiguous index: status %d, want 400", s)
+	}
+	// Unknown index.
+	if s := getJSON(t, client, ts.URL+"/lookup?q=x&index=zzz", nil); s != http.StatusNotFound {
+		t.Fatalf("unknown index: status %d, want 404", s)
+	}
+	// Missing q.
+	if s := getJSON(t, client, ts.URL+"/lookup?index=a", nil); s != http.StatusBadRequest {
+		t.Fatalf("missing q: status %d, want 400", s)
+	}
+	// Bad numeric parameters.
+	if s := getJSON(t, client, ts.URL+"/topk?k=-1&index=a", nil); s != http.StatusBadRequest {
+		t.Fatalf("bad k: status %d, want 400", s)
+	}
+	if s := getJSON(t, client, ts.URL+"/prefix?q=x&limit=bogus&index=a", nil); s != http.StatusBadRequest {
+		t.Fatalf("bad limit: status %d, want 400", s)
+	}
+	// Health reports both indexes.
+	var hz struct {
+		Status  string           `json:"status"`
+		Indexes map[string]int64 `json:"indexes"`
+	}
+	if s := getJSON(t, client, ts.URL+"/healthz", &hz); s != http.StatusOK {
+		t.Fatalf("/healthz status %d", s)
+	}
+	if hz.Status != "ok" || len(hz.Indexes) != 2 {
+		t.Fatalf("/healthz = %+v", hz)
+	}
+	// Errors were counted.
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var errs int64
+	fmt.Sscanf(findLine(string(body), `ngramsd_errors_total{endpoint="lookup"}`), "%d", &errs)
+	if errs < 3 {
+		t.Fatalf("lookup errors counted %d, want >= 3", errs)
+	}
+}
+
+// TestServeShutdown pins the graceful-shutdown path of ListenAndServe.
+func TestServeShutdown(t *testing.T) {
+	_, ix := buildServedIndex(t)
+	srv := New(map[string]*ngramstats.Index{"nyt": ix})
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- ListenAndServe(ctx, "127.0.0.1:0", srv, ready) }()
+	addr := <-ready
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if s := getJSON(t, http.DefaultClient, "http://"+addr+"/healthz", &hz); s != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("healthz over real listener: status %d, %+v", s, hz)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown returned %v", err)
+	}
+}

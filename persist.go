@@ -1,0 +1,361 @@
+package ngramstats
+
+// Persistence: a completed Result saves as a sharded on-disk index,
+// and OpenIndex reopens it — in the same process, a later one, or a
+// serving daemon (cmd/ngramsd) — with byte-identical answers. The
+// on-disk layout (internal/index) reuses the block-framed,
+// prefix-compressed, CRC-checked run format of the shuffle, wrapped in
+// a manifest carrying the corpus dictionary and a snapshot of the
+// producing run's counters.
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+	"strings"
+
+	"ngramstats/internal/core"
+	"ngramstats/internal/encoding"
+	"ngramstats/internal/extsort"
+	"ngramstats/internal/index"
+	"ngramstats/internal/sequence"
+)
+
+// SaveOptions tunes Save. The zero value selects sensible defaults.
+type SaveOptions struct {
+	// Shards is the number of sorted shard files; 0 sizes them
+	// automatically (~128k records per shard, at most 32).
+	Shards int
+	// TopDepth is how many precomputed top-frequency records the index
+	// stores so TopK queries up to that depth never scan. 0 selects
+	// 1024; negative stores none.
+	TopDepth int
+	// Compress enables per-block DEFLATE compression of the shards on
+	// top of the format's front-coding.
+	Compress bool
+	// TempDir is the scratch directory for the save-time sort (default:
+	// system temp).
+	TempDir string
+}
+
+// defaultTopDepth is how many top records Save precomputes by default.
+const defaultTopDepth = 1024
+
+// Save persists the result into dir as a queryable on-disk index:
+// sorted sharded record files, the corpus dictionary, precomputed top
+// records, and a manifest, all checksummed. OpenIndex reopens it with
+// answers byte-identical to this result's. Equivalent to SaveWith with
+// zero options.
+func (r *Result) Save(dir string) error { return r.SaveWith(dir, SaveOptions{}) }
+
+// SaveWith is Save with explicit options.
+func (r *Result) SaveWith(dir string, opts SaveOptions) error {
+	dict := r.corpus.collection().Dict
+	if dict == nil {
+		return fmt.Errorf("ngramstats: corpus has no dictionary to persist")
+	}
+	total := r.Len()
+	if opts.Shards <= 0 {
+		opts.Shards = int((total + (128 << 10) - 1) / (128 << 10))
+		if opts.Shards < 1 {
+			opts.Shards = 1
+		}
+		if opts.Shards > 32 {
+			opts.Shards = 32
+		}
+	}
+	if opts.TopDepth == 0 {
+		opts.TopDepth = defaultTopDepth
+	}
+	codec := extsort.CodecRaw
+	if opts.Compress {
+		codec = extsort.CodecFlate
+	}
+
+	// Globally sort the result records by encoded key: the reducer
+	// emits each partition in its own order, while the index relies on
+	// one total bytewise order for shard and block binary search.
+	sorter := extsort.NewSorter(extsort.Options{TempDir: opts.TempDir})
+	ds := r.run.Result.Dataset()
+	for p := 0; p < ds.NumPartitions(); p++ {
+		err := ds.Scan(p, func(k, v []byte) error { return sorter.Add(k, v) })
+		if err != nil {
+			sorter.Discard()
+			return fmt.Errorf("ngramstats: save: %w", err)
+		}
+	}
+	it, err := sorter.Sort()
+	if err != nil {
+		return fmt.Errorf("ngramstats: save: %w", err)
+	}
+	defer it.Close()
+
+	w, err := index.NewWriter(dir, index.WriterOptions{
+		Corpus:    r.corpus.Name(),
+		Kind:      int(r.run.Result.Kind()),
+		Records:   total,
+		Shards:    opts.Shards,
+		Codec:     codec,
+		Jobs:      r.Jobs(),
+		Wallclock: r.Wallclock(),
+		Counters:  r.run.Counters.Snapshot(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.SetDictionary(dict.Save); err != nil {
+		w.Abort()
+		return err
+	}
+	for it.Next() {
+		if err := w.Append(it.Key(), it.Value()); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	if err := it.Err(); err != nil {
+		w.Abort()
+		return fmt.Errorf("ngramstats: save: %w", err)
+	}
+
+	if opts.TopDepth > 0 {
+		rv := r.resolver()
+		top, err := selectTopRaw(r.eachAggregate, total, opts.TopDepth, rv.topKBetter)
+		if err != nil {
+			w.Abort()
+			return fmt.Errorf("ngramstats: save top records: %w", err)
+		}
+		for _, e := range top {
+			if err := w.AppendTop(encoding.EncodeSeq(e.seq), e.agg.Encode()); err != nil {
+				w.Abort()
+				return err
+			}
+		}
+	}
+	return w.Commit()
+}
+
+// IndexOptions tunes OpenIndex. The zero value selects sensible
+// defaults.
+type IndexOptions struct {
+	// CacheBlocks bounds the decoded-block LRU cache in blocks (a
+	// block decodes to ~64 KiB). 0 selects 128; negative disables
+	// caching.
+	CacheBlocks int
+}
+
+// OpenIndex opens an index directory written by Save. The returned
+// Index answers NGrams, TopK, Longest, Lookup, and Prefix queries
+// byte-identically to the Result it was saved from, and is safe for
+// any number of concurrent readers. Equivalent to OpenIndexWith with
+// zero options.
+func OpenIndex(dir string) (*Index, error) { return OpenIndexWith(dir, IndexOptions{}) }
+
+// OpenIndexWith is OpenIndex with explicit options.
+func OpenIndexWith(dir string, opts IndexOptions) (*Index, error) {
+	ix, err := index.Open(dir, index.Options{CacheBlocks: opts.CacheBlocks})
+	if err != nil {
+		return nil, err
+	}
+	kind := core.AggregationKind(ix.Kind())
+	switch kind {
+	case core.AggCount, core.AggTimeSeries, core.AggDocIndex:
+	default:
+		ix.Close()
+		return nil, fmt.Errorf("ngramstats: index %s has unknown aggregation kind %d", dir, ix.Kind())
+	}
+	return &Index{ix: ix, kind: kind}, nil
+}
+
+// Index is a read-only handle on a persisted result. All query methods
+// are safe for concurrent use without locking: the underlying state is
+// immutable, shard reads use positioned reads, and the only shared
+// mutable structure is the internal block cache.
+type Index struct {
+	ix   *index.Index
+	kind core.AggregationKind
+}
+
+// resolver returns the shared decoder rendering terms through the
+// persisted dictionary.
+func (x *Index) resolver() resolver {
+	return resolver{term: x.ix.Dictionary().Term}
+}
+
+// Len returns the number of indexed n-grams.
+func (x *Index) Len() int64 { return x.ix.Records() }
+
+// Corpus returns the name of the corpus the statistics were computed
+// over.
+func (x *Index) Corpus() string { return x.ix.Corpus() }
+
+// Shards returns the number of on-disk shard files.
+func (x *Index) Shards() int { return x.ix.Shards() }
+
+// Counters returns the counter snapshot of the run that produced the
+// index (MAP_OUTPUT_RECORDS, SHUFFLE_BYTES_WRITTEN, …).
+func (x *Index) Counters() map[string]int64 { return x.ix.Counters() }
+
+// CacheStats returns the cumulative hit and miss counts of the
+// decoded-block cache, measuring how often queries were served without
+// re-reading and re-decoding a shard block.
+func (x *Index) CacheStats() (hits, misses int64) { return x.ix.CacheStats() }
+
+// Close releases the index's open files. In-flight queries must have
+// completed.
+func (x *Index) Close() error { return x.ix.Close() }
+
+// eachAggregate streams every indexed record in ascending encoded-key
+// order through the shared iteration seam.
+func (x *Index) eachAggregate(fn func(s sequence.Seq, agg core.Aggregate) error) error {
+	return x.ix.Scan(nil, nil, func(k, v []byte) error {
+		s, err := encoding.DecodeSeq(k)
+		if err != nil {
+			return err
+		}
+		agg, err := core.DecodeAggregate(x.kind, v)
+		if err != nil {
+			return err
+		}
+		return fn(s, agg)
+	})
+}
+
+// NGrams returns an iterator over every indexed n-gram in ascending
+// encoded-key order, decoding one at a time. Error handling matches
+// Result.NGrams.
+func (x *Index) NGrams() iter.Seq2[NGram, error] {
+	rv := x.resolver()
+	return func(yield func(NGram, error) bool) {
+		err := x.eachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
+			if !yield(rv.decode(s, agg), nil) {
+				return errStop
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, errStop) {
+			yield(NGram{}, err)
+		}
+	}
+}
+
+// Each calls fn for every indexed n-gram in ascending encoded-key
+// order. Returning an error from fn stops iteration.
+func (x *Index) Each(fn func(NGram) error) error {
+	rv := x.resolver()
+	return x.eachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
+		return fn(rv.decode(s, agg))
+	})
+}
+
+// TopK returns the k most frequent n-grams in the same order as
+// Result.TopK. Up to the saved precomputation depth (SaveOptions.
+// TopDepth) the answer is served from the stored top records without
+// scanning; beyond it the index falls back to a full streaming
+// selection.
+func (x *Index) TopK(k int) ([]NGram, error) {
+	if k < 0 {
+		k = 0
+	}
+	if int64(k) > x.Len() {
+		k = int(x.Len())
+	}
+	rv := x.resolver()
+	if keys, vals, ok := x.ix.TopRecords(k); ok {
+		out := make([]NGram, k)
+		for i := 0; i < k; i++ {
+			s, err := encoding.DecodeSeq(keys[i])
+			if err != nil {
+				return nil, err
+			}
+			agg, err := core.DecodeAggregate(x.kind, vals[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = rv.decode(s, agg)
+		}
+		return out, nil
+	}
+	return rv.selectTop(x.eachAggregate, x.Len(), k, rv.topKBetter)
+}
+
+// Longest returns the k longest indexed n-grams in the same order as
+// Result.Longest, via a full streaming selection.
+func (x *Index) Longest(k int) ([]NGram, error) {
+	rv := x.resolver()
+	return rv.selectTop(x.eachAggregate, x.Len(), k, rv.longestBetter)
+}
+
+// encodePhrase maps a phrase to its encoded key, or false if any word
+// is outside the dictionary (and therefore cannot be indexed).
+func (x *Index) encodePhrase(phrase string) ([]byte, bool) {
+	words := strings.Fields(phrase)
+	if len(words) == 0 {
+		return nil, false
+	}
+	ids := make(sequence.Seq, len(words))
+	for i, w := range words {
+		id, ok := x.ix.Dictionary().ID(strings.ToLower(w))
+		if !ok {
+			return nil, false
+		}
+		ids[i] = id
+	}
+	return encoding.EncodeSeq(ids), true
+}
+
+// Lookup returns the statistics of the given phrase, if indexed. The
+// lookup is a point read: the manifest names the shard, the shard
+// footer names the block, and only that block is decoded (or served
+// from the cache).
+func (x *Index) Lookup(phrase string) (NGram, bool, error) {
+	key, ok := x.encodePhrase(phrase)
+	if !ok {
+		return NGram{}, false, nil
+	}
+	val, found, err := x.ix.Get(key)
+	if err != nil || !found {
+		return NGram{}, false, err
+	}
+	s, err := encoding.DecodeSeq(key)
+	if err != nil {
+		return NGram{}, false, err
+	}
+	agg, err := core.DecodeAggregate(x.kind, val)
+	if err != nil {
+		return NGram{}, false, err
+	}
+	return x.resolver().decode(s, agg), true, nil
+}
+
+// Prefix returns up to limit indexed n-grams that extend the given
+// phrase (including the phrase itself, if indexed), in ascending
+// encoded-key order. limit <= 0 returns all. The scan touches only the
+// blocks whose key range intersects the prefix.
+func (x *Index) Prefix(phrase string, limit int) ([]NGram, error) {
+	key, ok := x.encodePhrase(phrase)
+	if !ok {
+		return nil, nil
+	}
+	rv := x.resolver()
+	var out []NGram
+	err := x.ix.ScanPrefix(key, func(k, v []byte) error {
+		s, err := encoding.DecodeSeq(k)
+		if err != nil {
+			return err
+		}
+		agg, err := core.DecodeAggregate(x.kind, v)
+		if err != nil {
+			return err
+		}
+		out = append(out, rv.decode(s, agg))
+		if limit > 0 && len(out) >= limit {
+			return index.StopScan()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+package ngramstats
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// saveTestCorpus returns a small deterministic corpus with repeated
+// phrases at several frequencies and publication years.
+func saveTestCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	docs := []string{
+		"the quick brown fox jumps over the lazy dog. the quick brown fox returns.",
+		"a quick brown fox is not a lazy dog. the dog sleeps.",
+		"the quick brown fox jumps over the lazy dog again and again.",
+		"lazy dogs sleep. quick foxes jump. the quick brown fox jumps.",
+		"to be or not to be. to be or not to be. that is the question.",
+	}
+	years := []int{1999, 2001, 2001, 2004, 2007}
+	c, err := FromText("persist-test", docs, years)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// ngramKey gives a canonical map key for set comparison.
+func ngramKey(ng NGram) string {
+	return fmt.Sprint(ng.IDs)
+}
+
+// collect gathers an NGrams iterator into a map keyed by ID sequence.
+func collect(t *testing.T, seq func(yield func(NGram, error) bool)) map[string]NGram {
+	t.Helper()
+	out := make(map[string]NGram)
+	for ng, err := range seq {
+		if err != nil {
+			t.Fatalf("NGrams yielded error: %v", err)
+		}
+		if _, dup := out[ngramKey(ng)]; dup {
+			t.Fatalf("duplicate n-gram %q", ng.Text)
+		}
+		out[ngramKey(ng)] = ng
+	}
+	return out
+}
+
+// TestSaveOpenGolden is the reopen-equality golden test: an index
+// written by Save and reopened by OpenIndex must answer NGrams, TopK,
+// Longest, and Lookup byte-identically to the live Result, across all
+// aggregation kinds and a multi-shard layout.
+func TestSaveOpenGolden(t *testing.T) {
+	for _, agg := range []Aggregation{Counts, TimeSeries, DocumentIndex} {
+		t.Run(fmt.Sprintf("agg=%d", agg), func(t *testing.T) {
+			c := saveTestCorpus(t)
+			res, err := Count(context.Background(), c, Options{
+				MinFrequency: 2, MaxLength: 5, Aggregation: agg, TempDir: t.TempDir(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer res.Release()
+			if res.Len() == 0 {
+				t.Fatal("empty result would make the test vacuous")
+			}
+
+			dir := filepath.Join(t.TempDir(), "idx")
+			// Multiple shards and a small top depth exercise both the
+			// precomputed and the fallback TopK paths.
+			if err := res.SaveWith(dir, SaveOptions{Shards: 3, TopDepth: 5}); err != nil {
+				t.Fatalf("Save: %v", err)
+			}
+			ix, err := OpenIndex(dir)
+			if err != nil {
+				t.Fatalf("OpenIndex: %v", err)
+			}
+			defer ix.Close()
+
+			if ix.Len() != res.Len() {
+				t.Fatalf("Len: index %d, result %d", ix.Len(), res.Len())
+			}
+			if ix.Corpus() != "persist-test" {
+				t.Fatalf("Corpus = %q", ix.Corpus())
+			}
+			if ix.Shards() != 3 {
+				t.Fatalf("Shards = %d, want 3", ix.Shards())
+			}
+
+			// NGrams: identical sets, identical decoded statistics.
+			want := collect(t, res.NGrams())
+			got := collect(t, ix.NGrams())
+			if len(got) != len(want) {
+				t.Fatalf("NGrams: %d from index, %d from result", len(got), len(want))
+			}
+			for k, w := range want {
+				g, ok := got[k]
+				if !ok {
+					t.Fatalf("index is missing %q", w.Text)
+				}
+				if !reflect.DeepEqual(g, w) {
+					t.Fatalf("NGram mismatch for %q:\nindex:  %+v\nresult: %+v", w.Text, g, w)
+				}
+			}
+
+			// TopK at every depth: below, at, and beyond the stored top
+			// depth, and beyond the result size.
+			for _, k := range []int{0, 1, 3, 5, 6, 10, int(res.Len()), int(res.Len()) + 7} {
+				rw, err := res.TopK(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gw, err := ix.TopK(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gw, rw) {
+					t.Fatalf("TopK(%d) mismatch:\nindex:  %v\nresult: %v", k, texts(gw), texts(rw))
+				}
+			}
+			for _, k := range []int{1, 4, int(res.Len())} {
+				rw, err := res.Longest(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gw, err := ix.Longest(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(gw, rw) {
+					t.Fatalf("Longest(%d) mismatch", k)
+				}
+			}
+
+			// Lookup: every reported phrase answers identically, and so
+			// do misses (absent phrase, unknown word).
+			phrases := make([]string, 0, len(want))
+			for _, w := range want {
+				phrases = append(phrases, w.Text)
+			}
+			sort.Strings(phrases)
+			phrases = append(phrases, "the the the", "xylophone quick", "")
+			for _, p := range phrases {
+				rg, rok, err := res.Lookup(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gg, gok, err := ix.Lookup(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rok != gok || !reflect.DeepEqual(gg, rg) {
+					t.Fatalf("Lookup(%q): index (%+v,%v) vs result (%+v,%v)", p, gg, gok, rg, rok)
+				}
+			}
+		})
+	}
+}
+
+func texts(ngs []NGram) []string {
+	out := make([]string, len(ngs))
+	for i, ng := range ngs {
+		out[i] = fmt.Sprintf("%s:%d", ng.Text, ng.Frequency)
+	}
+	return out
+}
+
+// TestIndexPrefix pins the prefix-scan semantics: every indexed
+// n-gram extending the phrase, in ascending encoded-key order, bounded
+// by limit.
+func TestIndexPrefix(t *testing.T) {
+	c := saveTestCorpus(t)
+	res, err := Count(context.Background(), c, Options{MinFrequency: 2, MaxLength: 5, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := res.SaveWith(dir, SaveOptions{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	// Oracle: filter the full result by word-prefix.
+	wantCount := 0
+	for ng, err := range res.NGrams() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ng.Text == "quick brown fox" || strings.HasPrefix(ng.Text, "quick brown fox ") {
+			wantCount++
+		}
+	}
+	if wantCount < 2 {
+		t.Fatalf("oracle found only %d extensions; corpus too small for the test", wantCount)
+	}
+
+	got, err := ix.Prefix("quick brown fox", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != wantCount {
+		t.Fatalf("Prefix returned %d n-grams, oracle says %d", len(got), wantCount)
+	}
+	for _, ng := range got {
+		if ng.Text != "quick brown fox" && !strings.HasPrefix(ng.Text, "quick brown fox ") {
+			t.Fatalf("Prefix returned non-extension %q", ng.Text)
+		}
+	}
+	// The phrase itself is included and IDs are genuinely prefixed.
+	for _, ng := range got {
+		if len(ng.IDs) < 3 {
+			t.Fatalf("extension %q shorter than the prefix", ng.Text)
+		}
+	}
+
+	// Limit caps the answer.
+	capped, err := ix.Prefix("quick brown fox", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 1 {
+		t.Fatalf("Prefix with limit 1 returned %d", len(capped))
+	}
+	// Unknown words cannot be indexed: empty answer, no error.
+	if ngs, err := ix.Prefix("xylophone", 0); err != nil || len(ngs) != 0 {
+		t.Fatalf("Prefix(unknown) = %v, %v", ngs, err)
+	}
+
+	// A fresh phrase lookup after scans still points into valid cache
+	// memory and repeated lookups hit the cache.
+	h0, _ := ix.CacheStats()
+	for i := 0; i < 20; i++ {
+		if _, ok, err := ix.Lookup("lazy dog"); err != nil || !ok {
+			t.Fatalf("Lookup(lazy dog): ok=%v err=%v", ok, err)
+		}
+	}
+	h1, _ := ix.CacheStats()
+	if h1 <= h0 {
+		t.Fatalf("block cache saw no hits across repeated lookups (%d -> %d)", h0, h1)
+	}
+}
+
+// TestSaveRefusesOverwrite pins that Save never clobbers an existing
+// index.
+func TestSaveRefusesOverwrite(t *testing.T) {
+	c := saveTestCorpus(t)
+	res, err := Count(context.Background(), c, Options{MinFrequency: 2, MaxLength: 3, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := res.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Save(dir); err == nil {
+		t.Fatal("second Save into the same directory must fail")
+	}
+}

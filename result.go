@@ -3,7 +3,6 @@ package ngramstats
 import (
 	"errors"
 	"iter"
-	"sort"
 	"strings"
 	"time"
 
@@ -35,6 +34,18 @@ func (n NGram) Length() int { return len(n.IDs) }
 type Result struct {
 	corpus *Corpus
 	run    *core.Run
+}
+
+// resolver returns the shared decoder rendering terms through the
+// corpus dictionary.
+func (r *Result) resolver() resolver {
+	return resolver{term: r.corpus.Term}
+}
+
+// eachAggregate adapts the result set to the iteration seam shared
+// with the persistent Index.
+func (r *Result) eachAggregate(fn func(s sequence.Seq, agg core.Aggregate) error) error {
+	return r.run.Result.EachAggregate(fn)
 }
 
 // Len returns the number of reported n-grams.
@@ -75,9 +86,10 @@ var errStop = errors.New("ngramstats: stop iteration")
 //		use(ng)
 //	}
 func (r *Result) NGrams() iter.Seq2[NGram, error] {
+	rv := r.resolver()
 	return func(yield func(NGram, error) bool) {
-		err := r.run.Result.EachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
-			if !yield(r.decode(s, agg), nil) {
+		err := r.eachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
+			if !yield(rv.decode(s, agg), nil) {
 				return errStop
 			}
 			return nil
@@ -92,46 +104,10 @@ func (r *Result) NGrams() iter.Seq2[NGram, error] {
 // unspecified. Returning an error from fn stops iteration. NGrams is
 // the range-over-func equivalent.
 func (r *Result) Each(fn func(NGram) error) error {
-	return r.run.Result.EachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
-		return fn(r.decode(s, agg))
+	rv := r.resolver()
+	return r.eachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
+		return fn(rv.decode(s, agg))
 	})
-}
-
-func (r *Result) decode(s sequence.Seq, agg core.Aggregate) NGram {
-	ng := NGram{
-		IDs:       append([]uint32(nil), s...),
-		Frequency: agg.Frequency(),
-	}
-	if years, ok := core.TimeSeriesCounts(agg); ok {
-		ng.Years = years
-	}
-	if docs, ok := core.DocIndexCounts(agg); ok {
-		ng.Documents = docs
-	}
-	words := make([]string, len(s))
-	for i, id := range s {
-		if w := r.corpus.Term(id); w != "" {
-			words[i] = w
-		} else {
-			words[i] = "#" + itoa(uint64(id))
-		}
-	}
-	ng.Text = strings.Join(words, " ")
-	return ng
-}
-
-func itoa(v uint64) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
 }
 
 // All collects every reported n-gram into a slice. For very large
@@ -148,156 +124,21 @@ func (r *Result) All() ([]NGram, error) {
 	return out, nil
 }
 
-// rawNGram is one undecoded result entry retained by the bounded
-// top-k selection: the encoded term sequence, its aggregate, and the
-// aggregate's frequency cached for comparisons.
-type rawNGram struct {
-	seq sequence.Seq
-	agg core.Aggregate
-	cf  int64
-}
-
 // TopK returns the k most frequent n-grams, most frequent first; ties
 // break toward longer n-grams, then lexicographically. Selection
 // streams over the result with a bounded min-heap: memory and NGram
 // decodes are O(k), independent of the result size.
 func (r *Result) TopK(k int) ([]NGram, error) {
-	return r.selectTop(k, func(a, b rawNGram) bool {
-		if a.cf != b.cf {
-			return a.cf > b.cf
-		}
-		if len(a.seq) != len(b.seq) {
-			return len(a.seq) > len(b.seq)
-		}
-		return r.seqTextLess(a.seq, b.seq)
-	})
+	rv := r.resolver()
+	return rv.selectTop(r.eachAggregate, r.Len(), k, rv.topKBetter)
 }
 
 // Longest returns the k longest reported n-grams, longest first; ties
 // break toward higher frequency, then lexicographically. Like TopK it
 // streams with a bounded heap in O(k) memory.
 func (r *Result) Longest(k int) ([]NGram, error) {
-	return r.selectTop(k, func(a, b rawNGram) bool {
-		if len(a.seq) != len(b.seq) {
-			return len(a.seq) > len(b.seq)
-		}
-		if a.cf != b.cf {
-			return a.cf > b.cf
-		}
-		return r.seqTextLess(a.seq, b.seq)
-	})
-}
-
-// selectTop streams the raw result entries through a bounded min-heap
-// keeping the k best under better, then decodes exactly the survivors.
-func (r *Result) selectTop(k int, better func(a, b rawNGram) bool) ([]NGram, error) {
-	if k < 0 {
-		k = 0
-	}
-	if n := r.Len(); int64(k) > n {
-		k = int(n)
-	}
-	t := boundedTop{k: k, better: better}
-	err := r.run.Result.EachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
-		t.offer(rawNGram{seq: s, agg: agg, cf: agg.Frequency()})
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	entries := t.heap
-	sort.Slice(entries, func(i, j int) bool { return better(entries[i], entries[j]) })
-	out := make([]NGram, len(entries))
-	for i, e := range entries {
-		out[i] = r.decode(e.seq, e.agg)
-	}
-	return out, nil
-}
-
-// boundedTop is a min-heap of capacity k whose root is the worst
-// retained entry, so a streamed candidate either evicts the root or is
-// dropped in O(log k).
-type boundedTop struct {
-	k      int
-	better func(a, b rawNGram) bool
-	heap   []rawNGram
-}
-
-// worse orders the heap: the root must be the entry every other
-// retained entry beats.
-func (t *boundedTop) worse(a, b rawNGram) bool { return t.better(b, a) }
-
-func (t *boundedTop) offer(e rawNGram) {
-	if t.k <= 0 {
-		return
-	}
-	if len(t.heap) < t.k {
-		t.heap = append(t.heap, e)
-		t.up(len(t.heap) - 1)
-		return
-	}
-	if !t.better(e, t.heap[0]) {
-		return
-	}
-	t.heap[0] = e
-	t.down(0)
-}
-
-func (t *boundedTop) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !t.worse(t.heap[i], t.heap[parent]) {
-			break
-		}
-		t.heap[i], t.heap[parent] = t.heap[parent], t.heap[i]
-		i = parent
-	}
-}
-
-func (t *boundedTop) down(i int) {
-	n := len(t.heap)
-	for {
-		left, right := 2*i+1, 2*i+2
-		least := i
-		if left < n && t.worse(t.heap[left], t.heap[least]) {
-			least = left
-		}
-		if right < n && t.worse(t.heap[right], t.heap[least]) {
-			least = right
-		}
-		if least == i {
-			return
-		}
-		t.heap[i], t.heap[least] = t.heap[least], t.heap[i]
-		i = least
-	}
-}
-
-// seqTextLess reports whether a's rendered text sorts before b's,
-// comparing word by word without materializing the joined strings.
-// Tokens contain no spaces and no bytes below ' ', so word-wise
-// comparison agrees with comparing strings.Join(words, " ").
-func (r *Result) seqTextLess(a, b sequence.Seq) bool {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		wa, wb := r.word(a[i]), r.word(b[i])
-		if wa != wb {
-			return wa < wb
-		}
-	}
-	return len(a) < len(b)
-}
-
-// word renders one term the way decode does: the dictionary word, or
-// "#id" for an identifier outside the dictionary.
-func (r *Result) word(id uint32) string {
-	if w := r.corpus.Term(id); w != "" {
-		return w
-	}
-	return "#" + itoa(uint64(id))
+	rv := r.resolver()
+	return rv.selectTop(r.eachAggregate, r.Len(), k, rv.longestBetter)
 }
 
 // Lookup returns the statistics of the given phrase, if reported. The
@@ -312,13 +153,14 @@ func (r *Result) Lookup(phrase string) (NGram, bool, error) {
 		}
 		ids[i] = id
 	}
+	rv := r.resolver()
 	var found NGram
 	ok := false
-	err := r.run.Result.EachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
+	err := r.eachAggregate(func(s sequence.Seq, agg core.Aggregate) error {
 		if !sequence.Equal(s, ids) {
 			return nil
 		}
-		found = r.decode(s, agg)
+		found = rv.decode(s, agg)
 		ok = true
 		return errStop
 	})
