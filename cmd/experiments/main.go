@@ -50,6 +50,7 @@ type config struct {
 	tempDir  string
 	csvDir   string
 	codec    extsort.Codec
+	runner   mapreduce.Runner
 	verbose  bool
 }
 
@@ -65,10 +66,13 @@ func main() {
 	flag.StringVar(&cfg.tempDir, "tmp", "", "scratch directory for shuffle spills")
 	flag.StringVar(&cfg.csvDir, "csv", "", "directory for CSV output (optional)")
 	codec := flag.String("codec", "raw", "shuffle block codec: raw | flate (per-block DEFLATE on top of front-coding)")
+	runner := flag.String("runner", "", "execution backend: local (in-process tasks) | process (one worker OS process per task); default honors $NGRAMS_RUNNER")
+	workers := flag.Int("workers", 0, "max concurrent worker processes with -runner=process (0 = GOMAXPROCS)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log per-job progress")
 	quick := flag.Bool("quick", false, "small corpora for a fast smoke run")
 	nytDir := flag.String("nytdir", "", "load the NYT-like corpus from a corpusgen directory instead of generating")
 	cwDir := flag.String("cwdir", "", "load the CW-like corpus from a corpusgen directory instead of generating")
+	mapreduce.RunWorkerIfRequested() // hidden worker mode for -runner=process re-execs
 	flag.Parse()
 
 	if *quick {
@@ -82,6 +86,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown -codec %q (want raw or flate)\n", *codec)
 		os.Exit(2)
+	}
+	if name := *runner; name != "" || *workers > 0 {
+		if name == "" {
+			// -workers without -runner still applies, to the backend
+			// named by NGRAMS_RUNNER (empty means local).
+			name = os.Getenv(mapreduce.RunnerEnv)
+		}
+		r, err := mapreduce.NewRunner(name, *workers, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.runner = r
 	}
 
 	start := time.Now()
@@ -143,6 +160,7 @@ func (c *config) params(tau int64, sigma, slots int) core.Params {
 		InputSplits:  c.splits,
 		TempDir:      c.tempDir,
 		ShuffleCodec: c.codec,
+		Runner:       c.runner,
 		Combiner:     true,
 	}
 	if c.verbose {

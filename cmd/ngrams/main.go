@@ -18,6 +18,12 @@
 //
 //	ngrams -tau 5 -save /data/books-idx books/*.txt
 //	ngrams -tau 5 -serve :8091 books/*.txt
+//
+// By default MapReduce tasks run as goroutines; -runner=process runs
+// every map/reduce task in a separate worker OS process (a re-exec of
+// this binary in a hidden worker mode) with per-task retry:
+//
+//	ngrams -runner=process -workers 4 -tau 5 books/*.txt
 package main
 
 import (
@@ -32,6 +38,7 @@ import (
 	"time"
 
 	"ngramstats"
+	"ngramstats/internal/mapreduce"
 	"ngramstats/internal/serving"
 )
 
@@ -53,7 +60,11 @@ func main() {
 		mem      = flag.Int("mem", 0, "corpus builder memory budget in MiB (0 = default)")
 		save     = flag.String("save", "", "persist the result as a queryable index in this directory")
 		serve    = flag.String("serve", "", "serve the result over HTTP on this address (e.g. :8091) until interrupted")
+		runner   = flag.String("runner", "", "execution backend: local (in-process tasks) | process (one worker OS process per task); default honors $NGRAMS_RUNNER")
+		workers  = flag.Int("workers", 0, "max concurrent worker processes with -runner=process (0 = GOMAXPROCS)")
+		retries  = flag.Int("retries", 0, "task attempts before failing with -runner=process (0 = default of 2)")
 	)
+	mapreduce.RunWorkerIfRequested() // hidden worker mode for -runner=process re-execs
 	flag.Parse()
 	ctx := context.Background()
 
@@ -74,6 +85,11 @@ func main() {
 		MaxLength:      *sigma,
 		Combiner:       *combine,
 		DocumentSplits: *docsplit,
+		Execution: ngramstats.Execution{
+			Runner:      *runner,
+			Workers:     *workers,
+			MaxAttempts: *retries,
+		},
 	}
 	switch {
 	case *maximal:
@@ -129,8 +145,10 @@ func main() {
 		}
 	}
 	if *stats {
-		fmt.Printf("\njobs=%d wallclock=%v bytes=%d shuffle-bytes=%d records=%d\n",
-			result.Jobs(), result.Wallclock(), result.BytesTransferred(), result.ShuffleBytes(), result.RecordsTransferred())
+		counters := job.Counters()
+		fmt.Printf("\njobs=%d wallclock=%v bytes=%d shuffle-bytes=%d records=%d worker-procs=%d tasks-retried=%d\n",
+			result.Jobs(), result.Wallclock(), result.BytesTransferred(), result.ShuffleBytes(), result.RecordsTransferred(),
+			counters[mapreduce.CounterWorkerProcs], counters[mapreduce.CounterTasksRetried])
 	}
 	if *save != "" {
 		if err := result.Save(*save); err != nil {

@@ -22,11 +22,16 @@
 //     alternatives for long and/or infrequent n-grams and matches them
 //     elsewhere.
 //
-// The MapReduce substrate is an in-process runtime faithful to Hadoop's
+// The MapReduce substrate is a runtime faithful to Hadoop's
 // programming model (mappers, combiners, partitioners, sort
 // comparators, reducers, counters, slot-bounded parallelism, spill-to-
 // disk shuffle), so the same algorithm structure, data movement, and
 // measures the paper reports are observable locally via Result
+// counters. Execution is pluggable: jobs compile into a declarative
+// plan handed to an execution backend, either in-process goroutine
+// tasks (the default) or one worker OS process per task with per-task
+// retry — select it with Options.Execution (or the NGRAMS_RUNNER
+// environment variable), and read WORKER_PROCS / TASKS_RETRIED in the
 // counters.
 //
 // # Streaming-first API

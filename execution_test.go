@@ -1,0 +1,76 @@
+package ngramstats
+
+import (
+	"context"
+	"testing"
+
+	"ngramstats/internal/mapreduce"
+)
+
+// TestExecutionProcessBackend runs the public API under
+// Options.Execution{Runner: "process"} and asserts the result matches
+// the in-process default while really using worker processes.
+func TestExecutionProcessBackend(t *testing.T) {
+	corpus, err := FromText("exec", []string{
+		"the quick brown fox jumps over the lazy dog",
+		"the quick brown fox is quick",
+		"the lazy dog sleeps while the quick brown fox jumps",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(exec Execution) (*Result, map[string]int64) {
+		t.Helper()
+		job, err := Start(context.Background(), corpus, Options{
+			MinFrequency: 2, MaxLength: 3, TempDir: t.TempDir(), Execution: exec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, job.Counters()
+	}
+	local, lc := run(Execution{Runner: "local"})
+	proc, pc := run(Execution{Runner: "process", Workers: 2})
+	defer local.Release()
+	defer proc.Release()
+
+	if lc[mapreduce.CounterWorkerProcs] != 0 {
+		t.Errorf("local execution spawned %d workers", lc[mapreduce.CounterWorkerProcs])
+	}
+	if pc[mapreduce.CounterWorkerProcs] == 0 {
+		t.Error("process execution spawned no workers")
+	}
+	if local.Len() == 0 || local.Len() != proc.Len() {
+		t.Fatalf("n-grams: local %d, process %d", local.Len(), proc.Len())
+	}
+	lt, err := local.TopK(int(local.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := proc.TopK(int(proc.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lt {
+		if lt[i].Text != pt[i].Text || lt[i].Frequency != pt[i].Frequency {
+			t.Fatalf("rank %d: local %q×%d, process %q×%d",
+				i, lt[i].Text, lt[i].Frequency, pt[i].Text, pt[i].Frequency)
+		}
+	}
+}
+
+// TestExecutionUnknownRunner asserts a bad backend name surfaces as a
+// Start error.
+func TestExecutionUnknownRunner(t *testing.T) {
+	corpus, err := FromText("exec", []string{"a b c"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Start(context.Background(), corpus, Options{Execution: Execution{Runner: "cluster"}}); err == nil {
+		t.Fatal("Start accepted unknown runner")
+	}
+}

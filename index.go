@@ -30,7 +30,10 @@ type Occurrence struct {
 // occurrences and at most MaxLength words. Only MinFrequency,
 // MaxLength, and the resource options of opts are consulted.
 func BuildPhraseIndex(ctx context.Context, c *Corpus, opts Options) (*PhraseIndex, error) {
-	_, params := opts.params()
+	_, params, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
 	idx, err := core.BuildIndex(ctx, c.collection(), params)
 	if err != nil {
 		return nil, err

@@ -54,17 +54,14 @@ func aprioriIndexDatasets(ctx context.Context, col *corpus.Collection, p Params)
 	var prev mapreduce.Dataset
 	for k := 1; k <= p.Sigma; k++ {
 		k := k
-		job := p.job(fmt.Sprintf("apriori-index-k%d", k))
+		name := fmt.Sprintf("apriori-index-k%d", k)
+		var job *mapreduce.Job
 		if k <= p.K {
+			job = p.specJob(name, jobSpec{Kind: kindIndexScan, Tau: p.Tau, K: k})
 			job.Input = input
-			job.NewMapper = func() mapreduce.Mapper { return &indexScanMapper{k: k} }
-			job.NewReducer = func() mapreduce.Reducer { return &indexMergeReducer{tau: p.Tau} }
 		} else {
+			job = p.specJob(name, jobSpec{Kind: kindIndexJoin, Tau: p.Tau, JoinMem: p.JoinMemory})
 			job.Input = mapreduce.DatasetInput(prev)
-			job.NewMapper = func() mapreduce.Mapper { return &indexJoinMapper{} }
-			job.NewReducer = func() mapreduce.Reducer {
-				return &indexJoinReducer{tau: p.Tau, budget: p.JoinMemory, tempDir: p.TempDir}
-			}
 		}
 		res, err := drv.Run(ctx, job)
 		if err != nil {
@@ -220,6 +217,13 @@ type indexJoinReducer struct {
 	budget  int
 	tempDir string
 	keyBuf  []byte
+}
+
+// Setup implements mapreduce.TaskSetup: the spillable join buffers use
+// the task's scratch directory.
+func (r *indexJoinReducer) Setup(tc *mapreduce.TaskContext) error {
+	r.tempDir = tc.TempDir
+	return nil
 }
 
 // Reduce implements mapreduce.Reducer.

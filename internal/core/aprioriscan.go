@@ -28,16 +28,12 @@ func computeAprioriScan(ctx context.Context, col *corpus.Collection, p Params) (
 	var dict []byte // frequent (k−1)-grams, length-prefixed
 	for k := 1; k <= p.Sigma; k++ {
 		k := k
-		job := p.job(fmt.Sprintf("apriori-scan-k%d", k))
+		job := p.specJob(fmt.Sprintf("apriori-scan-k%d", k), jobSpec{
+			Kind: kindScan, Tau: p.Tau, K: k,
+			DictMem: p.DictionaryMemory, Combiner: p.Combiner,
+		})
 		job.Input = input
 		job.SideData = map[string][]byte{"dict": dict}
-		job.NewMapper = func() mapreduce.Mapper {
-			return &scanMapper{k: k, memoryBudget: p.DictionaryMemory, tempDir: p.TempDir}
-		}
-		if p.Combiner {
-			job.NewCombiner = func() mapreduce.Reducer { return &countReducer{} }
-		}
-		job.NewReducer = func() mapreduce.Reducer { return &countReducer{tau: p.Tau} }
 		res, err := drv.Run(ctx, job)
 		if err != nil {
 			return nil, err
@@ -151,8 +147,11 @@ type scanMapper struct {
 }
 
 // Setup implements mapreduce.TaskSetup: it loads the pruning
-// dictionary from the distributed cache (not needed for k = 1).
+// dictionary from the distributed cache (not needed for k = 1). The
+// store's scratch directory is the task's, so a worker process keeps
+// its spill files inside its own attempt directory.
 func (m *scanMapper) Setup(tc *mapreduce.TaskContext) error {
+	m.tempDir = tc.TempDir
 	if m.k == 1 {
 		return nil
 	}

@@ -19,11 +19,8 @@ import (
 // for the method's main jobs.
 func documentSplitInput(ctx context.Context, col *corpus.Collection, p Params, drv *mapreduce.Driver) (mapreduce.Input, error) {
 	// Job 1: unigram collection frequencies, keeping terms with cf ≥ τ.
-	countJob := p.job("docsplit-unigrams")
+	countJob := p.specJob("docsplit-unigrams", jobSpec{Kind: kindUnigrams, Tau: p.Tau})
 	countJob.Input = col.Input(p.InputSplits)
-	countJob.NewMapper = func() mapreduce.Mapper { return &unigramMapper{} }
-	countJob.NewCombiner = func() mapreduce.Reducer { return &countReducer{} }
-	countJob.NewReducer = func() mapreduce.Reducer { return &countReducer{tau: p.Tau} }
 	countRes, err := drv.Run(ctx, countJob)
 	if err != nil {
 		return nil, fmt.Errorf("core: document splits: %w", err)
@@ -46,10 +43,9 @@ func documentSplitInput(ctx context.Context, col *corpus.Collection, p Params, d
 
 	// Job 2 (map-only): rewrite every document, splitting sentences at
 	// infrequent terms.
-	rewriteJob := p.job("docsplit-rewrite")
+	rewriteJob := p.specJob("docsplit-rewrite", jobSpec{Kind: kindRewrite})
 	rewriteJob.Input = col.Input(p.InputSplits)
 	rewriteJob.SideData = map[string][]byte{"frequent-terms": side}
-	rewriteJob.NewMapper = func() mapreduce.Mapper { return &splitRewriteMapper{} }
 	rewriteRes, err := drv.Run(ctx, rewriteJob)
 	if err != nil {
 		return nil, fmt.Errorf("core: document splits: %w", err)

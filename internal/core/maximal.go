@@ -18,14 +18,10 @@ import (
 // suffix-maximal/closed originals — and restores the original order
 // before emitting.
 func suffixFilterJob(ctx context.Context, drv *mapreduce.Driver, p Params, in mapreduce.Dataset) (mapreduce.Dataset, error) {
-	job := p.job(fmt.Sprintf("suffix-filter-%s", p.Select))
+	job := p.specJob(fmt.Sprintf("suffix-filter-%s", p.Select), jobSpec{
+		Kind: kindSuffixFilter, Select: p.Select, Agg: p.Aggregation,
+	})
 	job.Input = mapreduce.DatasetInput(in)
-	job.NewMapper = func() mapreduce.Mapper { return &reverseMapper{} }
-	job.Partition = FirstTermPartitioner
-	job.Compare = encoding.CompareSeqBytesReverse
-	job.NewReducer = func() mapreduce.Reducer {
-		return &prefixFilterReducer{mode: p.Select, kind: p.Aggregation}
-	}
 	res, err := drv.Run(ctx, job)
 	if err != nil {
 		return nil, fmt.Errorf("core: suffix filter: %w", err)

@@ -22,13 +22,8 @@ func computeNaive(ctx context.Context, col *corpus.Collection, p Params) (*Run, 
 	if err != nil {
 		return nil, err
 	}
-	job := p.job("naive")
+	job := p.specJob("naive", jobSpec{Kind: kindNaive, Tau: p.Tau, Sigma: p.Sigma, Combiner: p.Combiner})
 	job.Input = input
-	job.NewMapper = func() mapreduce.Mapper { return &naiveMapper{sigma: p.Sigma} }
-	job.NewReducer = func() mapreduce.Reducer { return &countReducer{tau: p.Tau} }
-	if p.Combiner {
-		job.NewCombiner = func() mapreduce.Reducer { return &countReducer{} }
-	}
 	res, err := drv.Run(ctx, job)
 	if err != nil {
 		return nil, err

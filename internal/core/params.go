@@ -135,6 +135,12 @@ type Params struct {
 	// default). extsort.CodecFlate trades CPU for smaller transfer and
 	// suits NAÏVE/APRIORI runs whose values compress well.
 	ShuffleCodec extsort.Codec
+	// Runner selects the execution backend for every MapReduce job the
+	// method launches: mapreduce.LocalRunner (in-process goroutines) or
+	// a mapreduce.ProcessRunner (one worker OS process per task). Nil
+	// selects mapreduce.DefaultRunner, which honors the NGRAMS_RUNNER
+	// environment variable.
+	Runner mapreduce.Runner
 	// Progress, if non-nil, receives structured lifecycle events from
 	// every MapReduce job the method launches: job and phase starts,
 	// per-task completions, and final summaries, plus live handles on
@@ -174,6 +180,7 @@ func (p Params) job(name string) *mapreduce.Job {
 		ReduceSlots:  p.ReduceSlots,
 		TempDir:      p.TempDir,
 		ShuffleCodec: p.ShuffleCodec,
+		Runner:       p.Runner,
 		Progress:     p.Progress,
 	}
 }

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"ngramstats/internal/mapreduce"
+	"ngramstats/internal/synth"
+)
+
+// collectResult copies every partition's records of a run's dataset,
+// in partition and record order, for byte-exact comparison.
+func collectResult(t *testing.T, run *Run) [][]mapreduce.KV {
+	t.Helper()
+	d := run.Result.Dataset()
+	out := make([][]mapreduce.KV, d.NumPartitions())
+	for p := 0; p < d.NumPartitions(); p++ {
+		err := d.Scan(p, func(k, v []byte) error {
+			out[p] = append(out[p], mapreduce.KV{
+				Key:   append([]byte(nil), k...),
+				Value: append([]byte(nil), v...),
+			})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestRunnerEquivalenceGoldenMatrix runs a fig7-style workload (synth
+// NYT sample, σ=5, combiner on) for every method × aggregation cell
+// under the LocalRunner and the ProcessRunner and asserts byte-
+// identical result records plus equal record/n-gram counters. Only
+// SUFFIX-σ consumes the aggregation; the other methods must be
+// invariant to it, which the matrix verifies for free.
+func TestRunnerEquivalenceGoldenMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns many worker processes")
+	}
+	col := synth.Generate(synth.NYTLike(90, 11))
+	aggs := []AggregationKind{AggCount, AggTimeSeries, AggDocIndex}
+	for _, m := range Methods() {
+		for _, agg := range aggs {
+			m, agg := m, agg
+			t.Run(fmt.Sprintf("%s/%v", m, agg), func(t *testing.T) {
+				mkParams := func(r mapreduce.Runner) Params {
+					return Params{
+						Tau:         5,
+						Sigma:       5,
+						NumReducers: 4,
+						InputSplits: 4,
+						Combiner:    true,
+						Aggregation: agg,
+						TempDir:     t.TempDir(),
+						Runner:      r,
+					}
+				}
+				local, err := Compute(context.Background(), col, m, mkParams(mapreduce.LocalRunner{}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				proc, err := Compute(context.Background(), col, m, mkParams(&mapreduce.ProcessRunner{Workers: 2}))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if got := proc.Counters.Get(mapreduce.CounterWorkerProcs); got == 0 {
+					t.Fatal("process run spawned no worker processes (fell back to local?)")
+				}
+				if got := local.Counters.Get(mapreduce.CounterWorkerProcs); got != 0 {
+					t.Fatalf("local run spawned %d worker processes", got)
+				}
+
+				lp, pp := collectResult(t, local), collectResult(t, proc)
+				if len(lp) != len(pp) {
+					t.Fatalf("partitions: local %d, process %d", len(lp), len(pp))
+				}
+				for p := range lp {
+					if len(lp[p]) != len(pp[p]) {
+						t.Fatalf("partition %d: local %d records, process %d", p, len(lp[p]), len(pp[p]))
+					}
+					for i := range lp[p] {
+						if !bytes.Equal(lp[p][i].Key, pp[p][i].Key) || !bytes.Equal(lp[p][i].Value, pp[p][i].Value) {
+							t.Fatalf("partition %d record %d differs:\nlocal   (%x, %x)\nprocess (%x, %x)",
+								p, i, lp[p][i].Key, lp[p][i].Value, pp[p][i].Key, pp[p][i].Value)
+						}
+					}
+				}
+				if l, p := local.Result.Len(), proc.Result.Len(); l != p {
+					t.Errorf("n-grams: local %d, process %d", l, p)
+				}
+				for _, name := range []string{
+					mapreduce.CounterMapInputRecords, mapreduce.CounterMapOutputRecords,
+					mapreduce.CounterReduceInputGroups, mapreduce.CounterReduceOutputRecs,
+				} {
+					if l, p := local.Counters.Get(name), proc.Counters.Get(name); l != p {
+						t.Errorf("%s: local %d, process %d", name, l, p)
+					}
+				}
+				if l, p := local.Jobs, proc.Jobs; l != p {
+					t.Errorf("jobs launched: local %d, process %d", l, p)
+				}
+				if err := local.Result.Release(); err != nil {
+					t.Fatal(err)
+				}
+				if err := proc.Result.Release(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestProcessRunnerCrashRetryOnRealWorkload injects a first-attempt
+// worker crash into map task 1 of a SUFFIX-σ run and asserts the job
+// is retried, succeeds, and still matches the local result exactly.
+func TestProcessRunnerCrashRetryOnRealWorkload(t *testing.T) {
+	col := synth.Generate(synth.NYTLike(60, 23))
+	mkParams := func(r mapreduce.Runner) Params {
+		return Params{
+			Tau: 3, Sigma: 4, NumReducers: 3, InputSplits: 3,
+			Combiner: true, TempDir: t.TempDir(), Runner: r,
+		}
+	}
+	local, err := Compute(context.Background(), col, SuffixSigma, mkParams(mapreduce.LocalRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(mapreduce.WorkerCrashEnv, "map:1")
+	proc, err := Compute(context.Background(), col, SuffixSigma, mkParams(&mapreduce.ProcessRunner{MaxAttempts: 3}))
+	if err != nil {
+		t.Fatalf("job did not survive a crashed worker: %v", err)
+	}
+	if got := proc.Counters.Get(mapreduce.CounterTasksRetried); got < 1 {
+		t.Errorf("TASKS_RETRIED = %d, want >= 1", got)
+	}
+	lm, err := local.Result.CountMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := proc.Result.CountMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm) != len(pm) {
+		t.Fatalf("n-grams: local %d, process-with-crash %d", len(lm), len(pm))
+	}
+	for k, v := range lm {
+		if pm[k] != v {
+			t.Fatalf("cf(%x): local %d, process-with-crash %d", k, v, pm[k])
+		}
+	}
+}

@@ -31,19 +31,11 @@ func computeSuffixSigma(ctx context.Context, col *corpus.Collection, p Params) (
 	if err != nil {
 		return nil, err
 	}
-	job := p.job("suffix-sigma")
+	job := p.specJob("suffix-sigma", jobSpec{
+		Kind: kindSuffixSigma, Tau: p.Tau, Sigma: p.Sigma,
+		Agg: p.Aggregation, Select: p.Select, Combiner: p.Combiner,
+	})
 	job.Input = input
-	job.NewMapper = func() mapreduce.Mapper {
-		return &suffixMapper{sigma: p.Sigma, kind: p.Aggregation}
-	}
-	job.Partition = FirstTermPartitioner
-	job.Compare = encoding.CompareSeqBytesReverse
-	if p.Combiner {
-		job.NewCombiner = func() mapreduce.Reducer { return &aggregateCombiner{kind: p.Aggregation} }
-	}
-	job.NewReducer = func() mapreduce.Reducer {
-		return &suffixSigmaReducer{tau: p.Tau, kind: p.Aggregation, mode: p.Select}
-	}
 	res, err := drv.Run(ctx, job)
 	if err != nil {
 		return nil, err
@@ -295,16 +287,10 @@ func computeSuffixSigmaHashmap(ctx context.Context, col *corpus.Collection, p Pa
 	if err != nil {
 		return nil, err
 	}
-	job := p.job("suffix-sigma-hashmap")
+	job := p.specJob("suffix-sigma-hashmap", jobSpec{
+		Kind: kindSuffixHashmap, Tau: p.Tau, Sigma: p.Sigma, Combiner: p.Combiner,
+	})
 	job.Input = input
-	job.NewMapper = func() mapreduce.Mapper {
-		return &suffixMapper{sigma: p.Sigma, kind: AggCount}
-	}
-	job.Partition = FirstTermPartitioner
-	if p.Combiner {
-		job.NewCombiner = func() mapreduce.Reducer { return &aggregateCombiner{kind: AggCount} }
-	}
-	job.NewReducer = func() mapreduce.Reducer { return &suffixHashmapReducer{tau: p.Tau} }
 	res, err := drv.Run(ctx, job)
 	if err != nil {
 		return nil, err

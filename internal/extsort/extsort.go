@@ -199,7 +199,7 @@ func (s *Sorter) Sort() (*Iterator, error) {
 		srcs = append(srcs, &memSource{arena: s.arena, recs: s.recs})
 	}
 	for _, sp := range s.spills {
-		fs, err := openFileRunSource(sp.path, s.opts.Stats, s.cmp, nil, nil)
+		fs, err := openFileRunSource(sp.path, s.opts.Stats, s.cmp, nil, nil, true)
 		if err != nil {
 			for _, src := range srcs {
 				src.close()
@@ -277,18 +277,24 @@ func (m *memSource) value() []byte {
 
 func (m *memSource) close() {}
 
-// openFileRunSource opens a block source over a run file. The source
-// owns the file: close() both closes and unlinks it.
-func openFileRunSource(path string, stats *IOStats, cmp Compare, lo, hi []byte) (source, error) {
+// openFileRunSource opens a block source over a run file. When own is
+// set the source owns the file: close() both closes and unlinks it;
+// otherwise the file is left on disk for its owner (shared runs).
+func openFileRunSource(path string, stats *IOStats, cmp Compare, lo, hi []byte, own bool) (source, error) {
+	remove := func() {
+		if own {
+			os.Remove(path)
+		}
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		os.Remove(path) // ownership passed to this source even on error
+		remove() // ownership passed to this source even on error
 		return nil, fmt.Errorf("extsort: open spill: %w", err)
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		os.Remove(path)
+		remove()
 		return nil, fmt.Errorf("extsort: stat spill: %w", err)
 	}
 	readAt := func(off int64, n int) ([]byte, error) {

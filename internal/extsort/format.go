@@ -101,6 +101,14 @@ func (s *IOStats) BytesWritten() int64 { return s.written.Load() }
 // BytesRead returns the total encoded run bytes consumed.
 func (s *IOStats) BytesRead() int64 { return s.read.Load() }
 
+// AddWritten folds in run bytes written outside this instance's
+// sorters — the process runner accounts worker-reported transfer to
+// the job's stats this way.
+func (s *IOStats) AddWritten(n int64) { s.addWritten(n) }
+
+// AddRead folds in run bytes read outside this instance's merges.
+func (s *IOStats) AddRead(n int64) { s.addRead(n) }
+
 func (s *IOStats) addWritten(n int64) {
 	if s != nil {
 		s.written.Add(n)

@@ -60,6 +60,14 @@ const (
 	// fails the job after the map phase instead of silently routing
 	// garbage to partition 0.
 	CounterMalformedKeys = "MALFORMED_KEYS"
+
+	// Process-runner counters. WORKER_PROCS counts the worker OS
+	// processes spawned over the life of the job (every attempt spawns
+	// one); TASKS_RETRIED counts task attempts that failed and were
+	// retried on a fresh worker. Both stay zero under the in-process
+	// LocalRunner.
+	CounterWorkerProcs  = "WORKER_PROCS"
+	CounterTasksRetried = "TASKS_RETRIED"
 )
 
 // Counters is a concurrency-safe named counter group, the equivalent of
@@ -133,7 +141,18 @@ func (c *Counters) Merge(other *Counters) {
 	}
 }
 
-// Snapshot returns a copy of all counters as a plain map.
+// MergeSnapshot adds every entry of a plain counter map into c — the
+// Merge counterpart for counters that crossed a process boundary as a
+// serialized snapshot (worker results).
+func (c *Counters) MergeSnapshot(snap map[string]int64) {
+	for name, v := range snap {
+		c.Add(name, v)
+	}
+}
+
+// Snapshot returns a copy of all counters as a plain map. A map
+// carries no order; use Sorted or String where deterministic ordering
+// matters (reports, golden files, worker-result comparison).
 func (c *Counters) Snapshot() map[string]int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -144,17 +163,31 @@ func (c *Counters) Snapshot() map[string]int64 {
 	return out
 }
 
+// CounterValue is one named counter reading.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// Sorted returns a point-in-time copy of all counters ordered by name
+// — the deterministic view of the group. It is safe to call while
+// other goroutines Add or Merge.
+func (c *Counters) Sorted() []CounterValue {
+	c.mu.Lock()
+	out := make([]CounterValue, 0, len(c.m))
+	for name, v := range c.m {
+		out = append(out, CounterValue{Name: name, Value: v.Load()})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // String renders the counters sorted by name, one per line.
 func (c *Counters) String() string {
-	snap := c.Snapshot()
-	names := make([]string, 0, len(snap))
-	for name := range snap {
-		names = append(names, name)
-	}
-	sort.Strings(names)
 	var b strings.Builder
-	for _, name := range names {
-		fmt.Fprintf(&b, "%s=%d\n", name, snap[name])
+	for _, cv := range c.Sorted() {
+		fmt.Fprintf(&b, "%s=%d\n", cv.Name, cv.Value)
 	}
 	return b.String()
 }

@@ -223,6 +223,22 @@ type SinkWriter interface {
 	Close() error
 }
 
+// SinkAborter is implemented by sinks that can discard partial output
+// when a job fails or is cancelled before Finish. Runners call it on
+// every failure path so disk-backed sinks do not orphan partition
+// files.
+type SinkAborter interface {
+	Abort()
+}
+
+// abortSink discards a failed job's partial sink output, if the sink
+// supports it.
+func abortSink(s Sink) {
+	if a, ok := s.(SinkAborter); ok {
+		a.Abort()
+	}
+}
+
 // MemSinkFactory returns a factory for in-memory sinks, the default.
 func MemSinkFactory() SinkFactory {
 	return func(partitions int) (Sink, error) {
@@ -293,6 +309,21 @@ func (s *fileSink) Writer(p int) (SinkWriter, error) {
 
 func (s *fileSink) Finish() (Dataset, error) {
 	return &fileDataset{paths: s.paths, n: s.n}, nil
+}
+
+// Abort implements SinkAborter: it removes every partition file closed
+// writers have registered so far. Files of writers still open belong
+// to their (failing) task, which closes them before the runner aborts.
+func (s *fileSink) Abort() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, p := range s.paths {
+		if p != "" {
+			os.Remove(p)
+			s.paths[i] = ""
+		}
+	}
+	s.n = 0
 }
 
 type fileSinkWriter struct {

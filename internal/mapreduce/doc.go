@@ -1,12 +1,67 @@
-// Package mapreduce is an in-process MapReduce runtime modeled on
-// Hadoop, the substrate every method of the paper runs on. It provides
-// the programming model of Dean & Ghemawat — map(k1,v1) → list<(k2,v2)>,
+// Package mapreduce is a MapReduce runtime modeled on Hadoop, the
+// substrate every method of the paper runs on. It provides the
+// programming model of Dean & Ghemawat — map(k1,v1) → list<(k2,v2)>,
 // sort/group, reduce(k2, list<v2>) → list<(k3,v3)> — together with the
 // Hadoop facilities the paper's implementation section (Section V)
 // depends on: custom partitioners and sort comparators, combiners for
 // local aggregation, job counters (MAP_OUTPUT_BYTES, MAP_OUTPUT_RECORDS,
 // …), side data in the style of the distributed cache, configurable
 // map/reduce slot pools, and a driver for multi-job workflows.
+//
+// # Plan and Runner
+//
+// Execution is split into two halves. Run first compiles a Job into a
+// declarative Plan — resolved input splits, phase layout, partition
+// count, memory budgets, serialized side data — and then hands the
+// plan to a Runner, the pluggable execution backend:
+//
+//	Job ──Compile──▶ Plan ──Runner.Run──▶ Dataset
+//
+// LocalRunner (the default) executes tasks as goroutines in this
+// process, exactly as the engine always has. ProcessRunner executes
+// every map and reduce task as a separate worker OS process, with
+// per-task retry (MaxAttempts) and failed-worker isolation — the
+// in-repo analogue of Hadoop scheduling isolated task JVMs onto
+// cluster slots, and the seam future sharded or remote backends plug
+// into. Job.Runner selects the backend per job; DefaultRunner honors
+// the NGRAMS_RUNNER environment variable ("local" or "process") for
+// jobs that leave it nil.
+//
+// Task callbacks are Go closures, so a worker process cannot receive
+// them over a pipe; instead a job carries a Spec — the name of a
+// program registered with RegisterProgram plus a serialized
+// configuration — from which the worker rebuilds the mapper, combiner,
+// reducer, partitioner, and comparators. A job may even be Spec-only:
+// Compile materializes the callbacks from the registry, so the local
+// and worker construction paths are one and the same. Jobs without a
+// Spec (ad-hoc closures in tests) silently fall back to in-process
+// execution under the ProcessRunner.
+//
+// # Worker protocol
+//
+// The ProcessRunner re-executes the current binary (os.Executable)
+// with the NGRAMS_MR_WORKER environment variable set. The child must
+// call RunWorkerIfRequested first thing in main — or TestMain for test
+// binaries — which hijacks the process: it reads one JSON task spec
+// from stdin (program name and config, phase, task id, attempt,
+// partition count, memory budgets, codec, scratch dir, side-data
+// files, and the task's input), executes the task, writes a banner
+// line plus one JSON result to stdout (counters snapshot, measured
+// shuffle bytes, and the task's outputs), and exits.
+//
+// Data crosses the process boundary through files in a per-job working
+// directory under Job.TempDir: the parent materializes each input
+// split to a record file; a map worker seals every run to disk (the
+// PR-2 block-framed run format) and reports the file paths, which the
+// parent hands to reduce workers; reduce and map-only workers write
+// record files the parent folds into the job's sink. Reduce inputs are
+// opened as shared runs (extsort.OpenSharedRunFile) — consuming or
+// discarding them never unlinks, so a worker that dies mid-merge
+// leaves its inputs intact for the retry. Every attempt runs in a
+// private scratch directory, removed on failure; the working directory
+// is removed when the job ends, in success, failure, and cancellation
+// alike. WORKER_PROCS counts processes spawned, TASKS_RETRIED the
+// attempts that failed and were retried.
 //
 // # Shuffle architecture
 //

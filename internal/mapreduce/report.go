@@ -36,6 +36,11 @@ type JobSummary struct {
 	MapPhase    time.Duration
 	ReducePhase time.Duration
 	Wallclock   time.Duration
+	// WorkerProcs and TasksRetried describe process-runner execution:
+	// worker OS processes spawned and task attempts retried after a
+	// worker failure. Both are zero under the in-process LocalRunner.
+	WorkerProcs  int64
+	TasksRetried int64
 }
 
 // Summary extracts the per-job account from a Result.
@@ -59,6 +64,8 @@ func Summary(name string, r *Result) JobSummary {
 		MapPhase:            time.Duration(c.Get(CounterMapPhaseMillis)) * time.Millisecond,
 		ReducePhase:         time.Duration(c.Get(CounterReducePhaseMillis)) * time.Millisecond,
 		Wallclock:           r.Wallclock,
+		WorkerProcs:         c.Get(CounterWorkerProcs),
+		TasksRetried:        c.Get(CounterTasksRetried),
 	}
 }
 

@@ -1,0 +1,62 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Runner is an execution backend: it takes a compiled Plan and runs
+// its tasks to completion, materializing the job output through the
+// plan's sink. The engine ships two: LocalRunner executes tasks as
+// goroutines in this process (the default), ProcessRunner executes
+// each task in a separate worker OS process. Future backends (remote
+// workers, sharded clusters) implement the same seam.
+//
+// A Runner must fold every task's counter updates into counters, fire
+// PhaseStart/TaskDone events on progress as phases and tasks complete,
+// and account shuffle transfer to the plan's ShuffleIO. JobStart and
+// JobDone are fired by Run, outside the runner.
+type Runner interface {
+	Run(ctx context.Context, plan *Plan, counters *Counters, progress Progress) (Dataset, error)
+}
+
+// RunnerEnv is the environment variable consulted by DefaultRunner:
+// set NGRAMS_RUNNER=process to execute every job without an explicit
+// Job.Runner under the process backend (NGRAMS_RUNNER=local for the
+// in-process default). Tests and CI use it to sweep the whole suite
+// across backends without touching call sites.
+const RunnerEnv = "NGRAMS_RUNNER"
+
+// NewRunner constructs the named execution backend: "local" (or "")
+// for the in-process LocalRunner, "process" for a ProcessRunner with
+// the given worker-process bound and per-task attempt limit (both
+// zero-defaulted).
+func NewRunner(name string, workers, maxAttempts int) (Runner, error) {
+	switch strings.ToLower(name) {
+	case "", "local":
+		return LocalRunner{}, nil
+	case "process":
+		return &ProcessRunner{Workers: workers, MaxAttempts: maxAttempts}, nil
+	default:
+		return nil, fmt.Errorf("mapreduce: unknown runner %q (want local or process)", name)
+	}
+}
+
+// DefaultRunner returns the backend for jobs with no explicit Runner:
+// the one named by NGRAMS_RUNNER when set, else LocalRunner. An
+// unrecognized NGRAMS_RUNNER value is an error — a typo must not
+// silently drop process isolation (or let a process-backend CI tier
+// pass vacuously on the local runner).
+func DefaultRunner() (Runner, error) {
+	name := os.Getenv(RunnerEnv)
+	if name == "" {
+		return LocalRunner{}, nil
+	}
+	r, err := NewRunner(name, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w (from %s)", err, RunnerEnv)
+	}
+	return r, nil
+}

@@ -1,0 +1,371 @@
+package mapreduce
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"ngramstats/internal/encoding"
+)
+
+// ProcessRunner executes every map and reduce task in a separate
+// worker OS process: a re-execution of the current binary in hidden
+// worker mode (RunWorkerIfRequested), with the task spec on stdin and
+// the result on stdout. Task data crosses the process boundary through
+// files in a per-job working directory under the plan's TempDir —
+// input splits as record files, shuffle hand-off as the sealed
+// block-framed run files, task output as record files the parent folds
+// into the job's sink.
+//
+// Failed workers are isolated and retried: every attempt runs in a
+// private scratch directory that is discarded on failure, reduce
+// inputs are opened as shared runs that survive a consumer's death,
+// and a task is retried up to MaxAttempts times (TASKS_RETRIED
+// counter) before the job fails. WORKER_PROCS counts the processes
+// spawned.
+//
+// A plan without a Spec has no registered program a worker could
+// rebuild its callbacks from; such jobs fall back to in-process
+// execution via LocalRunner.
+type ProcessRunner struct {
+	// Workers bounds the number of concurrently running worker
+	// processes per phase. Defaults to GOMAXPROCS.
+	Workers int
+	// MaxAttempts is the number of times a task is attempted before the
+	// job fails. Defaults to 2 (one retry).
+	MaxAttempts int
+}
+
+func (r *ProcessRunner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (r *ProcessRunner) attempts() int {
+	if r.MaxAttempts > 0 {
+		return r.MaxAttempts
+	}
+	return 2
+}
+
+// Run implements Runner.
+func (r *ProcessRunner) Run(ctx context.Context, plan *Plan, counters *Counters, progress Progress) (Dataset, error) {
+	if plan.Spec == nil {
+		// No registered program to rebuild the callbacks from: the job
+		// can only run where its closures live.
+		return LocalRunner{}.Run(ctx, plan, counters, progress)
+	}
+	if _, err := buildProgram(plan.Spec); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", plan.Name, err)
+	}
+	workdir, err := os.MkdirTemp(plan.TempDir, "ngrams-mr-"+sanitizeJobName(plan.Name)+"-*")
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: workdir: %w", plan.Name, err)
+	}
+	// The working directory holds everything the job scatters on disk —
+	// splits, side data, every attempt's spills, runs, and outputs — so
+	// one removal cleans up after success, failure, and cancellation
+	// alike.
+	defer os.RemoveAll(workdir)
+
+	sink, err := plan.Sink(plan.NumReducers)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: sink: %w", plan.Name, err)
+	}
+	out, err := r.runPlan(ctx, plan, workdir, sink, counters, progress)
+	if err != nil {
+		abortSink(sink)
+		return nil, err
+	}
+	return out, nil
+}
+
+func (r *ProcessRunner) runPlan(ctx context.Context, plan *Plan, workdir string, sink Sink, counters *Counters, progress Progress) (Dataset, error) {
+	splitPaths, err := materializeSplits(ctx, plan.Splits, workdir)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: materialize splits: %w", plan.Name, err)
+	}
+	sideFiles, err := materializeSideData(plan.SideData, workdir)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: side data: %w", plan.Name, err)
+	}
+	baseSpec := workerSpec{
+		Job:           plan.Name,
+		Program:       plan.Spec.Program,
+		Config:        plan.Spec.Config,
+		NumReducers:   plan.NumReducers,
+		ShuffleMemory: plan.ShuffleMemory,
+		CombineMemory: plan.CombineMemory,
+		Codec:         int(plan.ShuffleCodec),
+		SideFiles:     sideFiles,
+	}
+
+	// ---- Map phase: one worker process per split. ----
+	mapPhase := "map"
+	if plan.MapOnly {
+		mapPhase = "map-only"
+	}
+	mapRuns := make([][][]workerRun, len(plan.Splits))
+	mapStart := time.Now()
+	progress.PhaseStart(plan.Name, "map")
+	if err := runTasks(ctx, len(plan.Splits), r.workers(), func(ctx context.Context, i int) error {
+		spec := baseSpec
+		spec.Phase = mapPhase
+		spec.TaskID = i
+		spec.SplitPath = splitPaths[i]
+		res, attemptDir, err := r.runTaskAttempts(ctx, workdir, &spec, counters)
+		if err != nil {
+			return err
+		}
+		counters.MergeSnapshot(res.Counters)
+		plan.shuffleIO.AddWritten(res.ShuffleWritten)
+		plan.shuffleIO.AddRead(res.ShuffleRead)
+		if plan.MapOnly {
+			// Fold the task's output into the sink as tasks complete,
+			// mirroring the local runner's per-task writers.
+			if err := copyRecords(filepath.Join(attemptDir, "out.rec"), sink, i%plan.NumReducers); err != nil {
+				return fmt.Errorf("map task %d: collect output: %w", i, err)
+			}
+		} else {
+			mapRuns[i] = res.Runs
+		}
+		progress.TaskDone(plan.Name, "map")
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: map phase: %w", plan.Name, err)
+	}
+	counters.Add(CounterMapPhaseMillis, time.Since(mapStart).Milliseconds())
+	if n := counters.Get(CounterMalformedKeys); n > 0 {
+		return nil, fmt.Errorf("mapreduce: job %q: partitioner rejected %d malformed intermediate keys", plan.Name, n)
+	}
+
+	if !plan.MapOnly {
+		// ---- Shuffle: gather run files per partition, in map-task
+		// order (the same merge tie-break order as the local runner).
+		refs := make([][]workerRun, plan.NumReducers)
+		for _, taskRuns := range mapRuns {
+			for p, rs := range taskRuns {
+				refs[p] = append(refs[p], rs...)
+			}
+		}
+
+		// ---- Reduce phase: one worker process per partition. ----
+		reduceStart := time.Now()
+		progress.PhaseStart(plan.Name, "reduce")
+		if err := runTasks(ctx, plan.NumReducers, r.workers(), func(ctx context.Context, p int) error {
+			spec := baseSpec
+			spec.Phase = "reduce"
+			spec.TaskID = p
+			spec.Runs = refs[p]
+			res, attemptDir, err := r.runTaskAttempts(ctx, workdir, &spec, counters)
+			if err != nil {
+				return err
+			}
+			counters.MergeSnapshot(res.Counters)
+			plan.shuffleIO.AddWritten(res.ShuffleWritten)
+			plan.shuffleIO.AddRead(res.ShuffleRead)
+			if err := copyRecords(filepath.Join(attemptDir, "out.rec"), sink, p); err != nil {
+				return fmt.Errorf("reduce task %d: collect output: %w", p, err)
+			}
+			progress.TaskDone(plan.Name, "reduce")
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q: reduce phase: %w", plan.Name, err)
+		}
+		counters.Add(CounterReducePhaseMillis, time.Since(reduceStart).Milliseconds())
+		counters.Add(CounterShuffleBytesWritten, plan.shuffleIO.BytesWritten())
+		counters.Add(CounterShuffleBytesRead, plan.shuffleIO.BytesRead())
+	}
+
+	out, err := sink.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: finish sink: %w", plan.Name, err)
+	}
+	return out, nil
+}
+
+// runTaskAttempts executes one task in a worker process, retrying up
+// to the runner's attempt limit. Every attempt gets a private scratch
+// directory under workdir; a failed attempt's directory is removed
+// before the retry, so a crashed worker leaks nothing and cannot
+// corrupt the next attempt (its reduce inputs are shared run files it
+// could not have unlinked). The successful attempt's directory — which
+// holds the task's sealed runs or output file — is returned and stays
+// alive until the job's workdir is removed.
+func (r *ProcessRunner) runTaskAttempts(ctx context.Context, workdir string, spec *workerSpec, counters *Counters) (*workerResult, string, error) {
+	attempts := r.attempts()
+	for attempt := 1; ; attempt++ {
+		attemptDir := filepath.Join(workdir, fmt.Sprintf("%s-%d-a%d", spec.Phase, spec.TaskID, attempt))
+		if err := os.Mkdir(attemptDir, 0o755); err != nil {
+			return nil, "", fmt.Errorf("%s task %d: %w", spec.Phase, spec.TaskID, err)
+		}
+		spec.Attempt = attempt
+		spec.TempDir = attemptDir
+		if spec.Phase != "map" {
+			spec.OutPath = filepath.Join(attemptDir, "out.rec")
+		}
+		res, err := spawnWorker(ctx, spec, counters)
+		if err == nil {
+			return res, attemptDir, nil
+		}
+		os.RemoveAll(attemptDir)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, "", ctxErr
+		}
+		if attempt >= attempts {
+			return nil, "", fmt.Errorf("%s task %d failed after %d attempt(s): %w", spec.Phase, spec.TaskID, attempt, err)
+		}
+		counters.Add(CounterTasksRetried, 1)
+	}
+}
+
+// spawnWorker re-executes the current binary in worker mode and
+// exchanges the task spec and result over stdin/stdout. The worker's
+// stderr passes through to the parent's.
+func spawnWorker(ctx context.Context, spec *workerSpec, counters *Counters) (*workerResult, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locate executable: %w", err)
+	}
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("encode task spec: %w", err)
+	}
+	cmd := exec.CommandContext(ctx, exe)
+	cmd.Env = append(os.Environ(), WorkerEnv+"=1")
+	cmd.Stdin = bytes.NewReader(payload)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	counters.Add(CounterWorkerProcs, 1)
+	runErr := cmd.Run()
+
+	banner, rest, found := strings.Cut(out.String(), "\n")
+	if !found || strings.TrimSpace(banner) != workerBanner {
+		// No banner: the worker died before producing anything, or the
+		// binary never entered worker mode at all.
+		hint := ""
+		if runErr == nil {
+			hint = " (is mapreduce.RunWorkerIfRequested wired into this binary's main/TestMain?)"
+		}
+		return nil, fmt.Errorf("worker produced no result%s: exec %v; output %q", hint, runErr, truncateForError(out.String()))
+	}
+	var res workerResult
+	if err := json.Unmarshal([]byte(rest), &res); err != nil {
+		return nil, fmt.Errorf("parse worker result: %v (exec %v; output %q)", err, runErr, truncateForError(rest))
+	}
+	if res.Err != "" {
+		return nil, errors.New(res.Err)
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("worker exited abnormally: %w", runErr)
+	}
+	return &res, nil
+}
+
+func truncateForError(s string) string {
+	if len(s) > 256 {
+		return s[:256] + "…"
+	}
+	return s
+}
+
+// sanitizeJobName reduces a job name to characters safe in a temp-dir
+// pattern.
+func sanitizeJobName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// materializeSplits writes every input split to a record file a worker
+// process can replay. This is the process model's analogue of reading
+// task input from the distributed filesystem.
+func materializeSplits(ctx context.Context, splits []Split, workdir string) ([]string, error) {
+	paths := make([]string, len(splits))
+	for i, split := range splits {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		path := filepath.Join(workdir, fmt.Sprintf("split-%d.rec", i))
+		w, err := newRecordFileWriter(path)
+		if err != nil {
+			return nil, err
+		}
+		err = split.Records(func(key, value []byte) error { return w.Write(key, value) })
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("split %d: %w", i, err)
+		}
+		paths[i] = path
+	}
+	return paths, nil
+}
+
+// materializeSideData writes each side-data entry to a file once per
+// job, the distributed-cache ship step.
+func materializeSideData(side map[string][]byte, workdir string) (map[string]string, error) {
+	if len(side) == 0 {
+		return nil, nil
+	}
+	files := make(map[string]string, len(side))
+	i := 0
+	for key, data := range side {
+		path := filepath.Join(workdir, fmt.Sprintf("side-%d", i))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return nil, err
+		}
+		files[key] = path
+		i++
+	}
+	return files, nil
+}
+
+// copyRecords folds a worker's output record file into partition p of
+// the job's sink.
+func copyRecords(path string, sink Sink, p int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := sink.Writer(p)
+	if err != nil {
+		return err
+	}
+	rr := encoding.NewRecordReader(bufio.NewReaderSize(f, 256<<10))
+	for {
+		k, v, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Write(k, v); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}

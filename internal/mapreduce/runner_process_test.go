@@ -1,0 +1,368 @@
+package mapreduce
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The test programs below are registered process-global: the test
+// binary doubles as the worker binary (TestMain calls
+// RunWorkerIfRequested), so a re-executed worker finds the same
+// registry.
+
+// wcProgram is a registered word-count job: the mapper splits values
+// into words, the reducer sums unit counts.
+const wcProgram = "mapreduce-test/wordcount"
+
+// slowProgram is a registered identity job whose mapper and reducer
+// sleep per record, so tests can cancel a job reliably mid-phase. Its
+// config is slowConfig.
+const slowProgram = "mapreduce-test/slow"
+
+// tagProgram is a registered map-only job: an identity mapper with no
+// reducer.
+const tagProgram = "mapreduce-test/tag"
+
+type slowConfig struct {
+	SleepPerRecord time.Duration `json:"sleep_per_record"`
+}
+
+func init() {
+	RegisterProgram(tagProgram, func(config []byte) (*Job, error) {
+		return &Job{
+			NewMapper: func() Mapper {
+				return MapperFunc(func(key, value []byte, emit Emit) error {
+					return emit(key, value)
+				})
+			},
+		}, nil
+	})
+	RegisterProgram(wcProgram, func(config []byte) (*Job, error) {
+		return &Job{
+			NewMapper: func() Mapper {
+				return MapperFunc(func(key, value []byte, emit Emit) error {
+					for _, w := range strings.Fields(string(value)) {
+						if err := emit([]byte(w), []byte("1")); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			},
+			NewReducer: func() Reducer {
+				return ReducerFunc(func(key []byte, values *Values, emit Emit) error {
+					var n int64
+					for values.Next() {
+						v, err := strconv.ParseInt(string(values.Value()), 10, 64)
+						if err != nil {
+							return err
+						}
+						n += v
+					}
+					return emit(key, []byte(strconv.FormatInt(n, 10)))
+				})
+			},
+		}, nil
+	})
+	RegisterProgram(slowProgram, func(config []byte) (*Job, error) {
+		var cfg slowConfig
+		if err := json.Unmarshal(config, &cfg); err != nil {
+			return nil, err
+		}
+		return &Job{
+			NewMapper: func() Mapper {
+				return MapperFunc(func(key, value []byte, emit Emit) error {
+					time.Sleep(cfg.SleepPerRecord)
+					return emit(key, value)
+				})
+			},
+			NewReducer: func() Reducer {
+				return ReducerFunc(func(key []byte, values *Values, emit Emit) error {
+					for values.Next() {
+						time.Sleep(cfg.SleepPerRecord)
+						if err := emit(key, values.Value()); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			},
+		}, nil
+	})
+}
+
+// wcInput builds a deterministic multi-split word corpus.
+func wcInput(docs, splits int) Input {
+	var recs []KV
+	for i := 0; i < docs; i++ {
+		text := fmt.Sprintf("the quick fox %d jumps over the lazy dog the end", i%7)
+		recs = append(recs, KV{Key: []byte(fmt.Sprintf("doc-%04d", i)), Value: []byte(text)})
+	}
+	return SliceInput(recs, splits)
+}
+
+func wcJob(t *testing.T, runner Runner) *Job {
+	t.Helper()
+	return &Job{
+		Name:        "wc",
+		Input:       wcInput(60, 6),
+		Spec:        &Spec{Program: wcProgram},
+		NumReducers: 4,
+		MapSlots:    2,
+		ReduceSlots: 2,
+		TempDir:     t.TempDir(),
+		Runner:      runner,
+	}
+}
+
+// collectPartitions returns every partition's records in order, for
+// byte-exact dataset comparison.
+func collectPartitions(t *testing.T, d Dataset) [][]KV {
+	t.Helper()
+	out := make([][]KV, d.NumPartitions())
+	for p := 0; p < d.NumPartitions(); p++ {
+		err := d.Scan(p, func(k, v []byte) error {
+			out[p] = append(out[p], KV{append([]byte(nil), k...), append([]byte(nil), v...)})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestProcessRunnerMatchesLocal asserts the process backend produces
+// byte-identical output, per partition and in order, with equal
+// record counters.
+func TestProcessRunnerMatchesLocal(t *testing.T) {
+	local, err := Run(context.Background(), wcJob(t, LocalRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := Run(context.Background(), wcJob(t, &ProcessRunner{Workers: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lp, pp := collectPartitions(t, local.Output), collectPartitions(t, proc.Output)
+	if len(lp) != len(pp) {
+		t.Fatalf("partitions: local %d, process %d", len(lp), len(pp))
+	}
+	for p := range lp {
+		if len(lp[p]) != len(pp[p]) {
+			t.Fatalf("partition %d: local %d records, process %d", p, len(lp[p]), len(pp[p]))
+		}
+		for i := range lp[p] {
+			if !bytes.Equal(lp[p][i].Key, pp[p][i].Key) || !bytes.Equal(lp[p][i].Value, pp[p][i].Value) {
+				t.Fatalf("partition %d record %d differs: local (%q,%q) process (%q,%q)",
+					p, i, lp[p][i].Key, lp[p][i].Value, pp[p][i].Key, pp[p][i].Value)
+			}
+		}
+	}
+	for _, name := range []string{
+		CounterMapInputRecords, CounterMapOutputRecords, CounterMapOutputBytes,
+		CounterReduceInputGroups, CounterReduceInputRecords, CounterReduceOutputRecs,
+	} {
+		if l, p := local.Counters.Get(name), proc.Counters.Get(name); l != p {
+			t.Errorf("%s: local %d, process %d", name, l, p)
+		}
+	}
+	if got := proc.Counters.Get(CounterWorkerProcs); got != int64(local.MapTasks+local.ReduceTasks) {
+		t.Errorf("WORKER_PROCS = %d, want %d", got, local.MapTasks+local.ReduceTasks)
+	}
+	if got := local.Counters.Get(CounterWorkerProcs); got != 0 {
+		t.Errorf("local runner spawned %d worker procs", got)
+	}
+	// The drained shuffle invariant holds across the process boundary.
+	if w, r := proc.Counters.Get(CounterShuffleBytesWritten), proc.Counters.Get(CounterShuffleBytesRead); w == 0 || w != r {
+		t.Errorf("shuffle bytes written/read = %d/%d, want equal and nonzero", w, r)
+	}
+}
+
+// TestProcessRunnerFallsBackWithoutSpec runs a closure-only job under
+// the process runner: it must execute in-process (no workers) and
+// still succeed.
+func TestProcessRunnerFallsBackWithoutSpec(t *testing.T) {
+	job := wcJob(t, &ProcessRunner{})
+	job.Spec = nil
+	job.NewMapper = func() Mapper {
+		return MapperFunc(func(key, value []byte, emit Emit) error {
+			return emit([]byte("k"), []byte("v"))
+		})
+	}
+	job.NewReducer = func() Reducer {
+		return ReducerFunc(func(key []byte, values *Values, emit Emit) error {
+			for values.Next() {
+			}
+			return emit(key, []byte("done"))
+		})
+	}
+	res, err := Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counters.Get(CounterWorkerProcs); got != 0 {
+		t.Errorf("spec-less job spawned %d worker procs", got)
+	}
+	if res.Output.Records() == 0 {
+		t.Error("no output records")
+	}
+}
+
+// TestProcessRunnerRetriesCrashedWorker injects a first-attempt crash
+// into map task 0 (the worker process exits without a result) and
+// asserts the task is retried on a fresh worker and the job succeeds
+// with correct output.
+func TestProcessRunnerRetriesCrashedWorker(t *testing.T) {
+	t.Setenv(WorkerCrashEnv, "map:0")
+	local, err := Run(context.Background(), wcJob(t, LocalRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := Run(context.Background(), wcJob(t, &ProcessRunner{MaxAttempts: 2}))
+	if err != nil {
+		t.Fatalf("job did not survive a crashed worker: %v", err)
+	}
+	if got := proc.Counters.Get(CounterTasksRetried); got < 1 {
+		t.Errorf("TASKS_RETRIED = %d, want >= 1", got)
+	}
+	if want := int64(local.MapTasks + local.ReduceTasks + 1); proc.Counters.Get(CounterWorkerProcs) != want {
+		t.Errorf("WORKER_PROCS = %d, want %d (one extra for the retry)", proc.Counters.Get(CounterWorkerProcs), want)
+	}
+	if l, p := local.Counters.Get(CounterReduceOutputRecs), proc.Counters.Get(CounterReduceOutputRecs); l != p {
+		t.Errorf("output records: local %d, process-with-crash %d", l, p)
+	}
+}
+
+// TestProcessRunnerCrashExhaustsAttempts caps attempts at 1 so the
+// injected crash must fail the job.
+func TestProcessRunnerCrashExhaustsAttempts(t *testing.T) {
+	t.Setenv(WorkerCrashEnv, "reduce:0")
+	_, err := Run(context.Background(), wcJob(t, &ProcessRunner{MaxAttempts: 1}))
+	if err == nil {
+		t.Fatal("job succeeded despite an unretried worker crash")
+	}
+	if !strings.Contains(err.Error(), "after 1 attempt") {
+		t.Errorf("error does not mention exhausted attempts: %v", err)
+	}
+}
+
+// TestUnknownRunnerEnvFailsLoudly asserts a typo'd NGRAMS_RUNNER
+// value errors instead of silently running in-process.
+func TestUnknownRunnerEnvFailsLoudly(t *testing.T) {
+	t.Setenv(RunnerEnv, "proces")
+	job := wcJob(t, nil)
+	_, err := Run(context.Background(), job)
+	if err == nil || !strings.Contains(err.Error(), RunnerEnv) {
+		t.Fatalf("want %s error, got %v", RunnerEnv, err)
+	}
+}
+
+// slowJob builds a job that is guaranteed to be mid-phase for a while:
+// many records, per-record sleeps, and a shuffle budget small enough
+// to force on-disk spills into TempDir.
+func slowJob(t *testing.T, runner Runner, tempDir string, progress Progress) *Job {
+	t.Helper()
+	var recs []KV
+	payload := bytes.Repeat([]byte("x"), 256)
+	for i := 0; i < 4000; i++ {
+		recs = append(recs, KV{Key: []byte(fmt.Sprintf("key-%05d", i)), Value: payload})
+	}
+	cfg, _ := json.Marshal(slowConfig{SleepPerRecord: 100 * time.Microsecond})
+	return &Job{
+		Name:          "slow",
+		Input:         SliceInput(recs, 8),
+		Spec:          &Spec{Program: slowProgram, Config: cfg},
+		NumReducers:   4,
+		MapSlots:      2,
+		ReduceSlots:   2,
+		ShuffleMemory: 64 << 10, // minimum budget: every task spills
+		TempDir:       tempDir,
+		Runner:        runner,
+		Progress:      progress,
+	}
+}
+
+// cancelOnTaskDone cancels a context when the first task of the given
+// phase completes, putting the cancellation reliably mid-phase.
+type cancelOnTaskDone struct {
+	phase  string
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnTaskDone) JobStart(JobInfo)          {}
+func (c *cancelOnTaskDone) PhaseStart(string, string) {}
+func (c *cancelOnTaskDone) JobDone(JobSummary)        {}
+func (c *cancelOnTaskDone) TaskDone(job, phase string) {
+	if phase == c.phase {
+		c.cancel()
+	}
+}
+
+// TestCancelLeavesNoScratchFiles cancels a job mid-map and mid-reduce
+// under both runners and asserts nothing is left under TempDir:
+// neither partial spill/run files nor (for the process runner) the
+// job's working directory.
+func TestCancelLeavesNoScratchFiles(t *testing.T) {
+	runners := map[string]func() Runner{
+		"local":   func() Runner { return LocalRunner{} },
+		"process": func() Runner { return &ProcessRunner{Workers: 2} },
+	}
+	for rname, mk := range runners {
+		for _, phase := range []string{"map", "reduce"} {
+			t.Run(rname+"-cancel-in-"+phase, func(t *testing.T) {
+				dir := t.TempDir()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				job := slowJob(t, mk(), dir, &cancelOnTaskDone{phase: phase, cancel: cancel})
+				_, err := Run(ctx, job)
+				if err == nil {
+					t.Fatal("cancelled job reported success")
+				}
+				entries, rerr := os.ReadDir(dir)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				var names []string
+				for _, e := range entries {
+					names = append(names, e.Name())
+				}
+				if len(names) != 0 {
+					t.Fatalf("scratch files leaked after cancel: %v", names)
+				}
+			})
+		}
+	}
+}
+
+// TestProcessRunnerMapOnly checks the map-only path (no shuffle)
+// produces the same dataset as the local runner.
+func TestProcessRunnerMapOnly(t *testing.T) {
+	mk := func(runner Runner) *Job {
+		job := wcJob(t, runner)
+		job.Spec = &Spec{Program: tagProgram}
+		return job
+	}
+	local, err := Run(context.Background(), mk(LocalRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := Run(context.Background(), mk(&ProcessRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, p := local.Output.Records(), proc.Output.Records(); l != p || l == 0 {
+		t.Fatalf("map-only records: local %d, process %d", l, p)
+	}
+	if got := proc.Counters.Get(CounterWorkerProcs); got != int64(local.MapTasks) {
+		t.Errorf("WORKER_PROCS = %d, want %d", got, local.MapTasks)
+	}
+}

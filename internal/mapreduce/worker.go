@@ -1,0 +1,319 @@
+package mapreduce
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+
+	"ngramstats/internal/encoding"
+	"ngramstats/internal/extsort"
+)
+
+// The worker protocol. A ProcessRunner parent re-executes its own
+// binary with WorkerEnv set; the child calls RunWorkerIfRequested
+// before doing anything else, reads one workerSpec as JSON from stdin,
+// executes the task, writes the workerBanner line followed by one
+// workerResult as JSON to stdout, and exits. Data crosses the process
+// boundary through the filesystem: the parent materializes the task's
+// input split to a record file, the worker hands back its sealed
+// shuffle runs as file paths (reduce workers re-open them as shared
+// runs, so a retried attempt finds its inputs intact), and reduce /
+// map-only output travels as a record file the parent folds into the
+// job's sink.
+
+// WorkerEnv is the environment variable whose presence switches a
+// process into hidden worker mode (see RunWorkerIfRequested).
+const WorkerEnv = "NGRAMS_MR_WORKER"
+
+// WorkerCrashEnv is a test hook: when set to "<phase>:<taskID>" (e.g.
+// "map:0"), a worker executing that task crashes with a nonzero exit
+// before producing a result — but only on the task's first attempt, so
+// retry tests can assert that a killed worker is retried and the job
+// still succeeds.
+const WorkerCrashEnv = "NGRAMS_WORKER_CRASH"
+
+// workerBanner is the first stdout line of a worker-mode process. Its
+// absence tells the parent the re-executed binary never entered worker
+// mode (RunWorkerIfRequested not wired into its main/TestMain).
+const workerBanner = "ngrams-mr-worker/1"
+
+// RunWorkerIfRequested turns the current process into a MapReduce task
+// worker when WorkerEnv is set, and never returns in that case: it
+// serves exactly one task and exits. Call it first thing in main() —
+// or in TestMain for test binaries — of every program that may execute
+// jobs under the ProcessRunner; it is a no-op otherwise.
+func RunWorkerIfRequested() {
+	if os.Getenv(WorkerEnv) == "" {
+		return
+	}
+	os.Exit(workerMain(os.Stdin, os.Stdout))
+}
+
+// workerSpec is the task assignment a worker reads from stdin.
+type workerSpec struct {
+	Job     string `json:"job"`
+	Program string `json:"program"`
+	Config  []byte `json:"config,omitempty"`
+	// Phase is "map", "map-only", or "reduce".
+	Phase   string `json:"phase"`
+	TaskID  int    `json:"task_id"`
+	Attempt int    `json:"attempt"`
+
+	NumReducers   int `json:"num_reducers"`
+	ShuffleMemory int `json:"shuffle_memory"`
+	CombineMemory int `json:"combine_memory"`
+	Codec         int `json:"codec"`
+	// TempDir is the attempt's private scratch directory; the worker
+	// writes spills, sealed runs, and its output file under it.
+	TempDir string `json:"temp_dir"`
+	// SideFiles maps side-data keys to files holding their contents.
+	SideFiles map[string]string `json:"side_files,omitempty"`
+
+	// SplitPath is the record file holding the task's input split (map
+	// and map-only phases).
+	SplitPath string `json:"split_path,omitempty"`
+	// Runs are the shared shuffle-run files to merge (reduce phase), in
+	// map-task order.
+	Runs []workerRun `json:"runs,omitempty"`
+	// OutPath is the record file to write output to (reduce and
+	// map-only phases).
+	OutPath string `json:"out_path,omitempty"`
+}
+
+// workerRun identifies one sealed on-disk shuffle run by path.
+type workerRun struct {
+	Path    string `json:"path"`
+	Records int    `json:"records"`
+}
+
+// workerResult is what a worker reports back on stdout.
+type workerResult struct {
+	Err      string           `json:"err,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// ShuffleWritten / ShuffleRead are the worker's measured encoded
+	// run transfer, folded into the job's IOStats by the parent.
+	ShuffleWritten int64 `json:"shuffle_written,omitempty"`
+	ShuffleRead    int64 `json:"shuffle_read,omitempty"`
+	// Runs are the map task's sealed runs, per reduce partition.
+	Runs [][]workerRun `json:"runs,omitempty"`
+	// OutRecords counts the records written to OutPath.
+	OutRecords int64 `json:"out_records,omitempty"`
+}
+
+// workerMain serves one task: spec from in, banner + result to out.
+// The exit code is 0 when the task succeeded, 1 when it failed but the
+// failure was reported cleanly.
+func workerMain(in io.Reader, out io.Writer) int {
+	bw := bufio.NewWriter(out)
+	fmt.Fprintln(bw, workerBanner)
+	res := serveWorkerTask(in)
+	if err := json.NewEncoder(bw).Encode(res); err != nil {
+		return 2
+	}
+	if err := bw.Flush(); err != nil {
+		return 2
+	}
+	if res.Err != "" {
+		return 1
+	}
+	return 0
+}
+
+// serveWorkerTask decodes and executes the task, converting every
+// failure — including panics in user map/reduce code — into a
+// reportable result.
+func serveWorkerTask(in io.Reader) (res *workerResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = &workerResult{Err: fmt.Sprintf("worker panic: %v\n%s", r, debug.Stack())}
+		}
+	}()
+	var spec workerSpec
+	if err := json.NewDecoder(in).Decode(&spec); err != nil {
+		return &workerResult{Err: fmt.Sprintf("decode task spec: %v", err)}
+	}
+	if c := os.Getenv(WorkerCrashEnv); c != "" && spec.Attempt == 1 &&
+		c == fmt.Sprintf("%s:%d", spec.Phase, spec.TaskID) {
+		os.Exit(3) // injected crash: die without producing a result
+	}
+	r, err := runWorkerTask(&spec)
+	if err != nil {
+		return &workerResult{Err: err.Error()}
+	}
+	return r
+}
+
+// runWorkerTask rebuilds the job from its registered program and runs
+// one task of it.
+func runWorkerTask(spec *workerSpec) (*workerResult, error) {
+	j, err := buildProgram(&Spec{Program: spec.Program, Config: spec.Config})
+	if err != nil {
+		return nil, err
+	}
+	// Overlay the runtime configuration the parent decided on; the
+	// program only supplies task callbacks.
+	j.Name = spec.Job
+	j.NumReducers = spec.NumReducers
+	j.ShuffleMemory = spec.ShuffleMemory
+	j.CombineMemory = spec.CombineMemory
+	j.ShuffleCodec = extsort.Codec(spec.Codec)
+	j.TempDir = spec.TempDir
+	if len(spec.SideFiles) > 0 {
+		j.SideData = make(map[string][]byte, len(spec.SideFiles))
+		for key, path := range spec.SideFiles {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("read side data %q: %w", key, err)
+			}
+			j.SideData[key] = data
+		}
+	}
+	j = j.withDefaults()
+
+	ctx := context.Background() // the parent kills the process to cancel
+	counters := NewCounters()
+	shuffleIO := &extsort.IOStats{}
+	res := &workerResult{}
+
+	switch spec.Phase {
+	case "map":
+		// sealKeep < 0 forces every sealed run onto disk, where the
+		// parent and the reduce workers can reach it by path.
+		taskRuns, err := runMapTask(ctx, j, spec.TaskID, fileSplit{path: spec.SplitPath}, -1, shuffleIO, counters)
+		if err != nil {
+			return nil, err
+		}
+		res.Runs = make([][]workerRun, len(taskRuns))
+		for p, runs := range taskRuns {
+			for _, r := range runs {
+				if r.InMemory() {
+					return nil, fmt.Errorf("map task %d sealed an in-memory run for partition %d", spec.TaskID, p)
+				}
+				res.Runs[p] = append(res.Runs[p], workerRun{Path: r.Path(), Records: r.Len()})
+			}
+		}
+	case "map-only":
+		w, err := newRecordFileWriter(spec.OutPath)
+		if err != nil {
+			return nil, err
+		}
+		taskErr := runMapOnlyTask(ctx, j, spec.TaskID, fileSplit{path: spec.SplitPath}, w, counters)
+		closeErr := w.Close()
+		if taskErr != nil {
+			return nil, taskErr
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+		res.OutRecords = w.n
+	case "reduce":
+		// Shared runs: consuming or discarding them leaves the files on
+		// disk, so a retried attempt (and the parent's cleanup) still
+		// finds them.
+		runs := make([]*extsort.Run, len(spec.Runs))
+		for i, ref := range spec.Runs {
+			runs[i] = extsort.OpenSharedRunFile(ref.Path, ref.Records, shuffleIO)
+		}
+		sink := &singleFileSink{path: spec.OutPath}
+		if err := runReduceTask(ctx, j, spec.TaskID, runs, sink, counters); err != nil {
+			return nil, err
+		}
+		res.OutRecords = sink.n
+	default:
+		return nil, fmt.Errorf("unknown worker phase %q", spec.Phase)
+	}
+
+	res.Counters = counters.Snapshot()
+	res.ShuffleWritten = shuffleIO.BytesWritten()
+	res.ShuffleRead = shuffleIO.BytesRead()
+	return res, nil
+}
+
+// fileSplit replays a split the parent materialized to a record file.
+type fileSplit struct{ path string }
+
+// Records implements Split.
+func (s fileSplit) Records(yield func(key, value []byte) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rr := encoding.NewRecordReader(bufio.NewReaderSize(f, 256<<10))
+	for {
+		k, v, err := rr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := yield(k, v); err != nil {
+			return err
+		}
+	}
+}
+
+// recordFileWriter is a SinkWriter appending length-framed records to
+// one file.
+type recordFileWriter struct {
+	f *os.File
+	w *bufio.Writer
+	n int64
+}
+
+func newRecordFileWriter(path string) (*recordFileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &recordFileWriter{f: f, w: bufio.NewWriterSize(f, 256<<10)}, nil
+}
+
+func (w *recordFileWriter) Write(key, value []byte) error {
+	w.n++
+	return encoding.WriteRecord(w.w, key, value)
+}
+
+func (w *recordFileWriter) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// singleFileSink adapts one output record file to the Sink surface a
+// reduce task writes through.
+type singleFileSink struct {
+	path string
+	n    int64
+}
+
+func (s *singleFileSink) Writer(p int) (SinkWriter, error) {
+	w, err := newRecordFileWriter(s.path)
+	if err != nil {
+		return nil, err
+	}
+	return &singleFileSinkWriter{sink: s, w: w}, nil
+}
+
+func (s *singleFileSink) Finish() (Dataset, error) {
+	return nil, fmt.Errorf("mapreduce: worker task sink has no dataset")
+}
+
+type singleFileSinkWriter struct {
+	sink *singleFileSink
+	w    *recordFileWriter
+}
+
+func (w *singleFileSinkWriter) Write(key, value []byte) error { return w.w.Write(key, value) }
+
+func (w *singleFileSinkWriter) Close() error {
+	w.sink.n = w.w.n
+	return w.w.Close()
+}

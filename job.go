@@ -63,7 +63,10 @@ type JobProgress struct {
 // makes Wait return the context's error. Count is Start followed by
 // Wait.
 func Start(ctx context.Context, c *Corpus, opts Options) (*Job, error) {
-	method, params := opts.params()
+	method, params, err := opts.params()
+	if err != nil {
+		return nil, err
+	}
 	if !core.ValidMethod(method) {
 		return nil, fmt.Errorf("ngramstats: unknown method %q", opts.Method)
 	}

@@ -1,0 +1,16 @@
+package ngramstats
+
+import (
+	"os"
+	"testing"
+
+	"ngramstats/internal/mapreduce"
+)
+
+// TestMain wires hidden worker mode into the test binary: when the
+// suite runs with NGRAMS_RUNNER=process, this binary is re-executed as
+// the task worker for the jobs its own tests launch.
+func TestMain(m *testing.M) {
+	mapreduce.RunWorkerIfRequested()
+	os.Exit(m.Run())
+}

@@ -1,6 +1,9 @@
 package ngramstats
 
 import (
+	"fmt"
+	"os"
+
 	"ngramstats/internal/core"
 	"ngramstats/internal/mapreduce"
 )
@@ -48,6 +51,27 @@ const (
 	DocumentIndex
 )
 
+// Execution selects the backend that runs a computation's MapReduce
+// tasks. The zero value keeps the in-process default (goroutine
+// tasks), unless the NGRAMS_RUNNER environment variable overrides it.
+type Execution struct {
+	// Runner names the backend: "local" executes tasks as goroutines in
+	// this process, "process" executes every map/reduce task in a
+	// separate worker OS process (a re-execution of the current binary;
+	// wire mapreduce.RunWorkerIfRequested into main for non-library
+	// binaries — the ngrams and experiments commands already do).
+	// Empty selects the default, honoring NGRAMS_RUNNER.
+	Runner string
+	// Workers bounds concurrently running worker processes under the
+	// process runner (default: GOMAXPROCS).
+	Workers int
+	// MaxAttempts is how many times a task is attempted under the
+	// process runner before the computation fails; attempts beyond the
+	// first run on a fresh worker process with a clean scratch
+	// directory (default: 2, i.e. one retry).
+	MaxAttempts int
+}
+
 // Options configures Count. The zero value computes statistics for all
 // n-grams of any length occurring at least once, using SUFFIX-σ with
 // sensible local defaults — set MinFrequency and MaxLength for
@@ -84,13 +108,18 @@ type Options struct {
 	// TempDir is the scratch directory for shuffle spills (default:
 	// system temp).
 	TempDir string
+	// Execution selects the backend that runs the MapReduce tasks: in
+	// this process (the default) or as separate worker OS processes,
+	// with per-task retry. The counters of a run report WORKER_PROCS
+	// and TASKS_RETRIED under the process backend.
+	Execution Execution
 	// Logf, if non-nil, receives human-readable progress lines. For
 	// structured live progress (phases, task counts, live counters) use
 	// Start and poll the returned Job's Progress instead.
 	Logf func(format string, args ...any)
 }
 
-func (o Options) params() (core.Method, core.Params) {
+func (o Options) params() (core.Method, core.Params, error) {
 	m := core.Method(o.Method)
 	if o.Method == "" {
 		m = core.SuffixSigma
@@ -108,8 +137,22 @@ func (o Options) params() (core.Method, core.Params) {
 		Select:      core.SelectMode(o.Selection),
 		Aggregation: core.AggregationKind(o.Aggregation),
 	}
+	if o.Execution != (Execution{}) {
+		// Workers/MaxAttempts without an explicit Runner still apply:
+		// the backend name then comes from NGRAMS_RUNNER (empty means
+		// local, where the knobs are moot).
+		name := o.Execution.Runner
+		if name == "" {
+			name = os.Getenv(mapreduce.RunnerEnv)
+		}
+		r, err := mapreduce.NewRunner(name, o.Execution.Workers, o.Execution.MaxAttempts)
+		if err != nil {
+			return m, p, fmt.Errorf("ngramstats: %w", err)
+		}
+		p.Runner = r
+	}
 	if o.Logf != nil {
 		p.Progress = mapreduce.LogProgress(o.Logf)
 	}
-	return m, p
+	return m, p, nil
 }
