@@ -66,8 +66,9 @@ func main() {
 	flag.StringVar(&cfg.tempDir, "tmp", "", "scratch directory for shuffle spills")
 	flag.StringVar(&cfg.csvDir, "csv", "", "directory for CSV output (optional)")
 	codec := flag.String("codec", "raw", "shuffle block codec: raw | flate (per-block DEFLATE on top of front-coding)")
-	runner := flag.String("runner", "", "execution backend: local (in-process tasks) | process (one worker OS process per task); default honors $NGRAMS_RUNNER")
-	workers := flag.Int("workers", 0, "max concurrent worker processes with -runner=process (0 = GOMAXPROCS)")
+	runner := flag.String("runner", "", "execution backend address: local (in-process tasks) | process (one worker OS process per task) | net://host:port[?spawn=N] (HTTP coordinator with leased net workers); default honors $NGRAMS_RUNNER")
+	workers := flag.Int("workers", 0, "max concurrent worker processes with a worker-based -runner (0 = backend default)")
+	retries := flag.Int("retries", 0, "per-task attempt budget with a worker-based -runner (0 = default of 2)")
 	flag.BoolVar(&cfg.verbose, "v", false, "log per-job progress")
 	quick := flag.Bool("quick", false, "small corpora for a fast smoke run")
 	nytDir := flag.String("nytdir", "", "load the NYT-like corpus from a corpusgen directory instead of generating")
@@ -87,18 +88,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown -codec %q (want raw or flate)\n", *codec)
 		os.Exit(2)
 	}
-	if name := *runner; name != "" || *workers > 0 {
+	if name := *runner; name != "" || *workers > 0 || *retries > 0 {
 		if name == "" {
-			// -workers without -runner still applies, to the backend
-			// named by NGRAMS_RUNNER (empty means local).
+			// -workers / -retries without -runner still apply, to the
+			// backend named by NGRAMS_RUNNER (empty means local).
 			name = os.Getenv(mapreduce.RunnerEnv)
 		}
-		r, err := mapreduce.NewRunner(name, *workers, 0)
+		r, err := mapreduce.NewRunner(name, *workers, *retries)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(2)
 		}
 		cfg.runner = r
+		fmt.Printf("execution backend: %v\n", r)
 	}
 
 	start := time.Now()

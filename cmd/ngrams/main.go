@@ -24,6 +24,15 @@
 // this binary in a hidden worker mode) with per-task retry:
 //
 //	ngrams -runner=process -workers 4 -tau 5 books/*.txt
+//
+// -runner=net://host:port starts an HTTP coordinator and drives net
+// workers with task leases, heartbeats, retry, and a shuffle-transfer
+// service. By default the run spawns its own workers; with ?spawn=0 it
+// waits for external workers started with -worker-connect (possibly on
+// other machines):
+//
+//	ngrams -worker-connect host:7001 &   # repeat per worker
+//	ngrams -runner='net://host:7001?spawn=0' -tau 5 books/*.txt
 package main
 
 import (
@@ -60,13 +69,25 @@ func main() {
 		mem      = flag.Int("mem", 0, "corpus builder memory budget in MiB (0 = default)")
 		save     = flag.String("save", "", "persist the result as a queryable index in this directory")
 		serve    = flag.String("serve", "", "serve the result over HTTP on this address (e.g. :8091) until interrupted")
-		runner   = flag.String("runner", "", "execution backend: local (in-process tasks) | process (one worker OS process per task); default honors $NGRAMS_RUNNER")
-		workers  = flag.Int("workers", 0, "max concurrent worker processes with -runner=process (0 = GOMAXPROCS)")
-		retries  = flag.Int("retries", 0, "task attempts before failing with -runner=process (0 = default of 2)")
+		runner   = flag.String("runner", "", "execution backend address: local (in-process tasks) | process (one worker OS process per task) | net://host:port[?spawn=N] (HTTP coordinator with leased net workers); default honors $NGRAMS_RUNNER")
+		workers  = flag.Int("workers", 0, "max concurrent worker processes with a worker-based -runner (0 = backend default)")
+		retries  = flag.Int("retries", 0, "per-task attempt budget with a worker-based -runner (0 = default of 2)")
+		connect  = flag.String("worker-connect", "", "run as a net worker for the coordinator at this address (host:port) until interrupted; no input is read")
 	)
-	mapreduce.RunWorkerIfRequested() // hidden worker mode for -runner=process re-execs
+	mapreduce.RunWorkerIfRequested() // hidden worker mode for worker-based -runner re-execs
 	flag.Parse()
 	ctx := context.Background()
+
+	if *connect != "" {
+		wctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Fprintf(os.Stderr, "ngrams: worker serving coordinator %s; interrupt to stop\n", *connect)
+		if err := mapreduce.RunNetWorker(wctx, *connect); err != nil {
+			fmt.Fprintln(os.Stderr, "ngrams: worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	corpus, err := ngramstats.FromDocuments(ctx, "input", documents(flag.Args(), *web),
 		ngramstats.BuilderOptions{MemoryBudget: *mem << 20})
@@ -146,9 +167,15 @@ func main() {
 	}
 	if *stats {
 		counters := job.Counters()
-		fmt.Printf("\njobs=%d wallclock=%v bytes=%d shuffle-bytes=%d records=%d worker-procs=%d tasks-retried=%d\n",
+		fmt.Printf("\nbackend=%s\n", backendLabel(*runner, *workers, *retries))
+		fmt.Printf("jobs=%d wallclock=%v bytes=%d shuffle-bytes=%d records=%d worker-procs=%d tasks-retried=%d\n",
 			result.Jobs(), result.Wallclock(), result.BytesTransferred(), result.ShuffleBytes(), result.RecordsTransferred(),
 			counters[mapreduce.CounterWorkerProcs], counters[mapreduce.CounterTasksRetried])
+		if counters[mapreduce.CounterNetWorkers] > 0 {
+			fmt.Printf("net-workers=%d leases-expired=%d tasks-speculated=%d shuffle-fetch-bytes=%d\n",
+				counters[mapreduce.CounterNetWorkers], counters[mapreduce.CounterLeasesExpired],
+				counters[mapreduce.CounterTasksSpeculated], counters[mapreduce.CounterShuffleFetchBytes])
+		}
 	}
 	if *save != "" {
 		if err := result.Save(*save); err != nil {
@@ -163,6 +190,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// backendLabel resolves the same runner address the run used and
+// renders it (scheme plus worker count) for -stats attribution.
+func backendLabel(addr string, workers, retries int) string {
+	if addr == "" {
+		addr = os.Getenv(mapreduce.RunnerEnv)
+	}
+	r, err := mapreduce.NewRunner(addr, workers, retries)
+	if err != nil {
+		return addr
+	}
+	return fmt.Sprint(r)
 }
 
 // serveResult exposes the computed result over HTTP: the result is

@@ -63,6 +63,62 @@ func TestExecutionProcessBackend(t *testing.T) {
 	}
 }
 
+// TestExecutionNetBackend runs the public API under a net://
+// runner address: a coordinator on an ephemeral port with two spawned
+// workers pulling tasks over HTTP.
+func TestExecutionNetBackend(t *testing.T) {
+	corpus, err := FromText("exec-net", []string{
+		"the quick brown fox jumps over the lazy dog",
+		"the quick brown fox is quick",
+		"the lazy dog sleeps while the quick brown fox jumps",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(exec Execution) (*Result, map[string]int64) {
+		t.Helper()
+		job, err := Start(context.Background(), corpus, Options{
+			MinFrequency: 2, MaxLength: 3, TempDir: t.TempDir(), Execution: exec,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, job.Counters()
+	}
+	local, _ := run(Execution{Runner: "local"})
+	netr, nc := run(Execution{Runner: "net://127.0.0.1:0", Workers: 2})
+	defer local.Release()
+	defer netr.Release()
+
+	if nc[mapreduce.CounterNetWorkers] == 0 {
+		t.Error("net execution registered no net workers")
+	}
+	if nc[mapreduce.CounterShuffleFetchBytes] == 0 {
+		t.Error("net execution fetched no shuffle bytes over HTTP")
+	}
+	if local.Len() == 0 || local.Len() != netr.Len() {
+		t.Fatalf("n-grams: local %d, net %d", local.Len(), netr.Len())
+	}
+	lt, err := local.TopK(int(local.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, err := netr.TopK(int(netr.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lt {
+		if lt[i].Text != nt[i].Text || lt[i].Frequency != nt[i].Frequency {
+			t.Fatalf("rank %d: local %q×%d, net %q×%d",
+				i, lt[i].Text, lt[i].Frequency, nt[i].Text, nt[i].Frequency)
+		}
+	}
+}
+
 // TestExecutionUnknownRunner asserts a bad backend name surfaces as a
 // Start error.
 func TestExecutionUnknownRunner(t *testing.T) {

@@ -136,10 +136,13 @@ type Params struct {
 	// suits NAÏVE/APRIORI runs whose values compress well.
 	ShuffleCodec extsort.Codec
 	// Runner selects the execution backend for every MapReduce job the
-	// method launches: mapreduce.LocalRunner (in-process goroutines) or
-	// a mapreduce.ProcessRunner (one worker OS process per task). Nil
-	// selects mapreduce.DefaultRunner, which honors the NGRAMS_RUNNER
-	// environment variable.
+	// method launches: mapreduce.LocalRunner (in-process goroutines), a
+	// mapreduce.ProcessRunner (one worker OS process per task), or a
+	// mapreduce.NetRunner (workers leased over HTTP, with heartbeats,
+	// retry, and a shuffle-transfer service). Nil selects
+	// mapreduce.DefaultRunner, which honors the NGRAMS_RUNNER
+	// environment variable ("local", "process", "net://host:port", or
+	// any scheme registered via mapreduce.RegisterRunner).
 	Runner mapreduce.Runner
 	// Progress, if non-nil, receives structured lifecycle events from
 	// every MapReduce job the method launches: job and phase starts,

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"ngramstats/internal/mapreduce"
 	"ngramstats/internal/synth"
@@ -31,11 +32,25 @@ func collectResult(t *testing.T, run *Run) [][]mapreduce.KV {
 	return out
 }
 
+// equivalenceBackends are the alternate execution backends the golden
+// matrix holds to the LocalRunner reference: every cell must be
+// byte-identical whether tasks run as goroutines, worker OS processes,
+// or net workers behind an HTTP coordinator.
+var equivalenceBackends = []struct {
+	name string
+	mk   func() mapreduce.Runner
+}{
+	{"process", func() mapreduce.Runner { return &mapreduce.ProcessRunner{Workers: 2} }},
+	{"net", func() mapreduce.Runner {
+		return &mapreduce.NetRunner{Addr: "127.0.0.1:0", Workers: 2, LeaseTTL: 2 * time.Second}
+	}},
+}
+
 // TestRunnerEquivalenceGoldenMatrix runs a fig7-style workload (synth
 // NYT sample, σ=5, combiner on) for every method × aggregation cell
-// under the LocalRunner and the ProcessRunner and asserts byte-
-// identical result records plus equal record/n-gram counters. Only
-// SUFFIX-σ consumes the aggregation; the other methods must be
+// under every alternate backend and asserts byte-identical result
+// records plus equal record/n-gram counters against the LocalRunner.
+// Only SUFFIX-σ consumes the aggregation; the other methods must be
 // invariant to it, which the matrix verifies for free.
 func TestRunnerEquivalenceGoldenMatrix(t *testing.T) {
 	if testing.Short() {
@@ -63,51 +78,54 @@ func TestRunnerEquivalenceGoldenMatrix(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				proc, err := Compute(context.Background(), col, m, mkParams(&mapreduce.ProcessRunner{Workers: 2}))
-				if err != nil {
-					t.Fatal(err)
-				}
-
-				if got := proc.Counters.Get(mapreduce.CounterWorkerProcs); got == 0 {
-					t.Fatal("process run spawned no worker processes (fell back to local?)")
-				}
 				if got := local.Counters.Get(mapreduce.CounterWorkerProcs); got != 0 {
 					t.Fatalf("local run spawned %d worker processes", got)
 				}
+				lp := collectResult(t, local)
 
-				lp, pp := collectResult(t, local), collectResult(t, proc)
-				if len(lp) != len(pp) {
-					t.Fatalf("partitions: local %d, process %d", len(lp), len(pp))
-				}
-				for p := range lp {
-					if len(lp[p]) != len(pp[p]) {
-						t.Fatalf("partition %d: local %d records, process %d", p, len(lp[p]), len(pp[p]))
+				for _, backend := range equivalenceBackends {
+					alt, err := Compute(context.Background(), col, m, mkParams(backend.mk()))
+					if err != nil {
+						t.Fatalf("%s: %v", backend.name, err)
 					}
-					for i := range lp[p] {
-						if !bytes.Equal(lp[p][i].Key, pp[p][i].Key) || !bytes.Equal(lp[p][i].Value, pp[p][i].Value) {
-							t.Fatalf("partition %d record %d differs:\nlocal   (%x, %x)\nprocess (%x, %x)",
-								p, i, lp[p][i].Key, lp[p][i].Value, pp[p][i].Key, pp[p][i].Value)
+					if got := alt.Counters.Get(mapreduce.CounterWorkerProcs); got == 0 {
+						t.Fatalf("%s run spawned no worker processes (fell back to local?)", backend.name)
+					}
+
+					pp := collectResult(t, alt)
+					if len(lp) != len(pp) {
+						t.Fatalf("partitions: local %d, %s %d", len(lp), backend.name, len(pp))
+					}
+					for p := range lp {
+						if len(lp[p]) != len(pp[p]) {
+							t.Fatalf("partition %d: local %d records, %s %d", p, len(lp[p]), backend.name, len(pp[p]))
+						}
+						for i := range lp[p] {
+							if !bytes.Equal(lp[p][i].Key, pp[p][i].Key) || !bytes.Equal(lp[p][i].Value, pp[p][i].Value) {
+								t.Fatalf("partition %d record %d differs:\nlocal (%x, %x)\n%s (%x, %x)",
+									p, i, lp[p][i].Key, lp[p][i].Value, backend.name, pp[p][i].Key, pp[p][i].Value)
+							}
 						}
 					}
-				}
-				if l, p := local.Result.Len(), proc.Result.Len(); l != p {
-					t.Errorf("n-grams: local %d, process %d", l, p)
-				}
-				for _, name := range []string{
-					mapreduce.CounterMapInputRecords, mapreduce.CounterMapOutputRecords,
-					mapreduce.CounterReduceInputGroups, mapreduce.CounterReduceOutputRecs,
-				} {
-					if l, p := local.Counters.Get(name), proc.Counters.Get(name); l != p {
-						t.Errorf("%s: local %d, process %d", name, l, p)
+					if l, p := local.Result.Len(), alt.Result.Len(); l != p {
+						t.Errorf("n-grams: local %d, %s %d", l, backend.name, p)
+					}
+					for _, name := range []string{
+						mapreduce.CounterMapInputRecords, mapreduce.CounterMapOutputRecords,
+						mapreduce.CounterReduceInputGroups, mapreduce.CounterReduceOutputRecs,
+					} {
+						if l, p := local.Counters.Get(name), alt.Counters.Get(name); l != p {
+							t.Errorf("%s: local %d, %s %d", name, l, backend.name, p)
+						}
+					}
+					if l, p := local.Jobs, alt.Jobs; l != p {
+						t.Errorf("jobs launched: local %d, %s %d", l, backend.name, p)
+					}
+					if err := alt.Result.Release(); err != nil {
+						t.Fatal(err)
 					}
 				}
-				if l, p := local.Jobs, proc.Jobs; l != p {
-					t.Errorf("jobs launched: local %d, process %d", l, p)
-				}
 				if err := local.Result.Release(); err != nil {
-					t.Fatal(err)
-				}
-				if err := proc.Result.Release(); err != nil {
 					t.Fatal(err)
 				}
 			})
@@ -152,6 +170,52 @@ func TestProcessRunnerCrashRetryOnRealWorkload(t *testing.T) {
 	for k, v := range lm {
 		if pm[k] != v {
 			t.Fatalf("cf(%x): local %d, process-with-crash %d", k, v, pm[k])
+		}
+	}
+}
+
+// TestNetRunnerCrashRetryOnRealWorkload is the same drill against the
+// net backend: the worker holding map task 1 is killed mid-job (its
+// shuffle service dies with it), and the run must recover through
+// lease expiry and retry while matching the local result exactly.
+func TestNetRunnerCrashRetryOnRealWorkload(t *testing.T) {
+	col := synth.Generate(synth.NYTLike(60, 23))
+	mkParams := func(r mapreduce.Runner) Params {
+		return Params{
+			Tau: 3, Sigma: 4, NumReducers: 3, InputSplits: 3,
+			Combiner: true, TempDir: t.TempDir(), Runner: r,
+		}
+	}
+	local, err := Compute(context.Background(), col, SuffixSigma, mkParams(mapreduce.LocalRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(mapreduce.WorkerCrashEnv, "map:1")
+	netr, err := Compute(context.Background(), col, SuffixSigma, mkParams(&mapreduce.NetRunner{
+		Addr: "127.0.0.1:0", Workers: 2, MaxAttempts: 3, LeaseTTL: 500 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatalf("job did not survive a crashed net worker: %v", err)
+	}
+	recovered := netr.Counters.Get(mapreduce.CounterTasksRetried) +
+		netr.Counters.Get(mapreduce.CounterLeasesExpired)
+	if recovered < 1 {
+		t.Errorf("TASKS_RETRIED + LEASES_EXPIRED = %d, want >= 1", recovered)
+	}
+	lm, err := local.Result.CountMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := netr.Result.CountMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm) != len(nm) {
+		t.Fatalf("n-grams: local %d, net-with-crash %d", len(lm), len(nm))
+	}
+	for k, v := range lm {
+		if nm[k] != v {
+			t.Fatalf("cf(%x): local %d, net-with-crash %d", k, v, nm[k])
 		}
 	}
 }

@@ -18,8 +18,8 @@ import (
 // ownership passes to a merge iterator via MergeRuns or the run is
 // released with Discard.
 type Run struct {
-	// Encoded in-memory run (data) or on-disk run (path); exactly one
-	// is populated.
+	// Encoded in-memory run (data), on-disk run (path), or remote run
+	// (remote + size); exactly one is populated.
 	data  []byte
 	path  string
 	n     int
@@ -29,6 +29,10 @@ type Run struct {
 	// the run nor Discard unlinks it, so a failed consumer can be
 	// retried against the same file.
 	shared bool
+	// remote reads the encoded run through a byte-ranged transport
+	// (OpenRemoteRun); size is its total encoded length.
+	remote ReadAtFunc
+	size   int64
 }
 
 // Len returns the number of records in the run. For on-disk runs this
@@ -36,8 +40,8 @@ type Run struct {
 func (r *Run) Len() int { return r.n }
 
 // InMemory reports whether the run is held in memory rather than in a
-// spill file.
-func (r *Run) InMemory() bool { return r.path == "" }
+// spill file or behind a remote transport.
+func (r *Run) InMemory() bool { return r.path == "" && r.remote == nil }
 
 // Path returns the spill file backing an on-disk run (empty for
 // in-memory runs). Worker processes report it to their parent, which
@@ -71,12 +75,16 @@ func (r *Run) Discard() {
 		r.path = ""
 	}
 	r.data = nil
+	r.remote = nil
 }
 
 // source returns a stream over the run's records in sorted order,
 // restricted to [lo, hi) under cmp when bounds are given (nil bounds
 // stream everything).
 func (r *Run) source(cmp Compare, lo, hi []byte) (source, error) {
+	if r.remote != nil {
+		return openRemoteRunSource(r.size, r.remote, r.stats, cmp, lo, hi)
+	}
 	if r.path == "" {
 		return openMemRunSource(r.data, r.stats, cmp, lo, hi)
 	}

@@ -68,6 +68,22 @@ const (
 	// LocalRunner.
 	CounterWorkerProcs  = "WORKER_PROCS"
 	CounterTasksRetried = "TASKS_RETRIED"
+
+	// Net-runner counters. NET_WORKERS counts worker registrations at
+	// the coordinator over the life of the job; TASKS_SPECULATED counts
+	// speculative (duplicate) attempts launched against stragglers;
+	// LEASES_EXPIRED counts task leases that lapsed without heartbeat
+	// renewal and were reassigned; SHUFFLE_FETCH_BYTES counts the
+	// encoded run bytes reduce workers pulled over the wire from the
+	// shuffle-transfer services of the map workers — including bytes
+	// fetched by attempts that lost a speculative race, so it measures
+	// real transfer, unlike SHUFFLE_BYTES_READ which stays equal to the
+	// winner-only merge volume. All four stay zero under the local and
+	// process backends.
+	CounterNetWorkers        = "NET_WORKERS"
+	CounterTasksSpeculated   = "TASKS_SPECULATED"
+	CounterLeasesExpired     = "LEASES_EXPIRED"
+	CounterShuffleFetchBytes = "SHUFFLE_FETCH_BYTES"
 )
 
 // Counters is a concurrency-safe named counter group, the equivalent of

@@ -22,10 +22,37 @@
 // every map and reduce task as a separate worker OS process, with
 // per-task retry (MaxAttempts) and failed-worker isolation — the
 // in-repo analogue of Hadoop scheduling isolated task JVMs onto
-// cluster slots, and the seam future sharded or remote backends plug
-// into. Job.Runner selects the backend per job; DefaultRunner honors
-// the NGRAMS_RUNNER environment variable ("local" or "process") for
-// jobs that leave it nil.
+// cluster slots. NetRunner generalizes that seam across a network: an
+// HTTP coordinator leases tasks to registered workers, with
+// heartbeats, retry, speculative execution, and a shuffle-transfer
+// service. Job.Runner selects the backend per job; DefaultRunner
+// honors the NGRAMS_RUNNER environment variable for jobs that leave
+// it nil.
+//
+// # Runner addresses and the registry
+//
+// Backends are addressed by a scheme string, parsed in exactly one
+// place (NewRunner) and honored identically by Job.Runner resolution,
+// NGRAMS_RUNNER, the public Options.Execution, and the -runner flags
+// of the commands:
+//
+//	"local"                      in-process goroutine tasks (also "")
+//	"process"                    one worker OS process per task
+//	"net://host:port[?spawn=N]"  HTTP coordinator with leased workers
+//
+// The net scheme accepts further parameters: ttl=<duration> sets the
+// lease TTL and spec=<duration|off> the speculative-execution delay
+// (fault drills pin recovery to lease expiry with spec=off).
+//
+// RegisterRunner makes the scheme set extensible: a backend registers
+// a factory for its scheme (the part before "://", matched
+// case-insensitively) in an init function, and is then addressable
+// everywhere a runner name is accepted. The factory receives the full
+// address plus the shared Workers/MaxAttempts knobs and must reject
+// addresses it cannot honor — an unknown scheme, a malformed address,
+// or an unrecognized parameter is a loud error at job start, never a
+// silent fallback to a different backend. Registering a duplicate
+// scheme panics: schemes are process-global identities.
 //
 // Task callbacks are Go closures, so a worker process cannot receive
 // them over a pipe; instead a job carries a Spec — the name of a
@@ -128,4 +155,63 @@
 // partitioner that cannot parse a key returns MalformedKeyPartition;
 // such keys are tallied in MALFORMED_KEYS and any nonzero count fails
 // the job after the map phase.
+//
+// # The net runner wire protocol
+//
+// NetRunner's coordinator and workers speak plain HTTP/JSON under the
+// /mr/ prefix (message types in netproto.go). The coordinator serves:
+//
+//	POST /mr/register       worker announces its shuffle-service URL;
+//	                        gets a worker id plus the job config
+//	                        (program name, serialized config, partition
+//	                        count, memory budgets, codec, side-data
+//	                        keys, lease TTL)
+//	POST /mr/poll           worker asks for work; the answer is a
+//	                        leased task, "wait", "drain" (job over), or
+//	                        "reregister" (unknown worker id)
+//	POST /mr/heartbeat      renews the leases a worker still executes;
+//	                        the reply lists leases to cancel
+//	POST /mr/output/{lease} streams a reduce or map-only attempt's
+//	                        output records into coordinator staging
+//	POST /mr/result         reports a finished or failed attempt;
+//	                        the reply says whether the attempt won
+//	POST /mr/goodbye        graceful exit: leases and published map
+//	                        outputs are requeued immediately
+//	GET  /mr/split/{i}      input split i as a record file
+//	GET  /mr/side/{key}     side data by key
+//
+// Each worker runs a shuffle-transfer service of its own, serving
+//
+//	GET /mr/run/{id}        one sealed map run, with HTTP Range support
+//
+// A map task's sealed runs stay on the producing worker; the result
+// report carries their URLs, sizes, and record counts. Reduce workers
+// merge them via ranged fetches (extsort.OpenRemoteRun) — the run
+// format's per-block CRCs and footer index verify every transferred
+// block, so a corrupted or truncated fetch surfaces as
+// extsort.ErrCorruptRun rather than wrong counts, and
+// SHUFFLE_FETCH_BYTES counts the wire bytes pulled.
+//
+// Fault tolerance is lease-based. Every assignment is a lease with a
+// TTL; workers heartbeat at a third of it, a coordinator janitor
+// expires leases that fall silent (LEASES_EXPIRED) and requeues their
+// tasks, and failures charge a per-task attempt budget (MaxAttempts,
+// fresh scratch per attempt) before the job fails. A worker silent
+// past three TTLs is presumed dead: map outputs published by it are
+// invalidated and their tasks re-executed — the Hadoop lost-map-output
+// recovery — triggered eagerly when a reduce attempt reports fetch
+// failures. Stragglers are speculatively duplicated (TASKS_SPECULATED)
+// once an otherwise-idle worker has nothing pending and the lone
+// attempt is older than both the configured delay and twice the
+// phase's median task duration; the first result wins, and losing
+// attempts are cancelled through their next heartbeat and their late
+// results rejected. Winner-only result folding keeps record counters —
+// and the output bytes — identical to the local runner's.
+//
+// Workers come in two flavors: a NetRunner spawns one-job workers
+// (re-executions of the current binary, NGRAMS_NET_WORKER set, scratch
+// rooted under the coordinator's working directory) unless NoSpawn is
+// set, and external persistent workers join with RunNetWorker — the
+// `ngrams -worker-connect` path — re-registering between jobs until
+// interrupted. NET_WORKERS counts registrations.
 package mapreduce

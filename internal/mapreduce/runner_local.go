@@ -15,6 +15,18 @@ import (
 // seam. It is the default backend.
 type LocalRunner struct{}
 
+func init() {
+	RegisterRunner("local", func(cfg RunnerConfig) (Runner, error) {
+		if cfg.Rest != "" {
+			return nil, fmt.Errorf("mapreduce: runner %q: the local backend takes no address", cfg.Address)
+		}
+		return LocalRunner{}, nil
+	})
+}
+
+// String renders the resolved backend for -stats attribution.
+func (LocalRunner) String() string { return "local" }
+
 // Run implements Runner.
 func (LocalRunner) Run(ctx context.Context, plan *Plan, counters *Counters, progress Progress) (Dataset, error) {
 	j := plan.job

@@ -1,0 +1,368 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// NetRunner executes a plan through an HTTP coordinator: workers
+// register over the network, poll for leased tasks, heartbeat while
+// executing, and report results; reduce workers pull the map outputs
+// they merge from the producing workers' shuffle-transfer services as
+// verified ranged transfers. Fault tolerance is built in — leases that
+// stop heartbeating expire and reassign, failed attempts retry up to
+// MaxAttempts on fresh scratch, stragglers are speculatively
+// duplicated (first completion wins), and map outputs that die with
+// their worker are re-executed.
+//
+// By default the runner is self-contained on one machine: it spawns
+// Workers one-job worker processes (re-executions of the current
+// binary, exactly like ProcessRunner) against its own coordinator.
+// With NoSpawn it relies entirely on externally started workers
+// (`ngrams -worker-connect host:port`, or RunNetWorker), which may
+// join from other machines; nothing runs until at least one connects.
+//
+// Like ProcessRunner, a plan without a Spec falls back to in-process
+// execution via LocalRunner.
+type NetRunner struct {
+	// Addr is the coordinator listen address, host:port; an empty host
+	// binds all interfaces, port 0 picks an ephemeral port. Empty
+	// defaults to "127.0.0.1:0". A fixed port serves one job at a time.
+	Addr string
+	// Workers is how many one-job worker processes to spawn (default:
+	// max(2, GOMAXPROCS); ignored under NoSpawn).
+	Workers int
+	// NoSpawn disables worker spawning: only externally connected
+	// workers execute tasks.
+	NoSpawn bool
+	// MaxAttempts is the per-task failure budget before the job fails
+	// (default: 2, i.e. one retry). Lease expiries count against it.
+	MaxAttempts int
+	// LeaseTTL is how long a task lease lives without a heartbeat
+	// before it is reassigned (default: 10s). Workers heartbeat at a
+	// third of it.
+	LeaseTTL time.Duration
+	// SpeculativeDelay is the minimum age of a lone running attempt
+	// before an otherwise-idle worker speculatively duplicates it; the
+	// effective threshold is at least twice the phase's median task
+	// duration. Negative disables speculation (default: 10s).
+	SpeculativeDelay time.Duration
+}
+
+func (r *NetRunner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return max(2, runtime.GOMAXPROCS(0))
+}
+
+func (r *NetRunner) attempts() int {
+	if r.MaxAttempts > 0 {
+		return r.MaxAttempts
+	}
+	return 2
+}
+
+func (r *NetRunner) leaseTTL() time.Duration {
+	if r.LeaseTTL > 0 {
+		return r.LeaseTTL
+	}
+	return 10 * time.Second
+}
+
+func (r *NetRunner) specDelay() time.Duration {
+	switch {
+	case r.SpeculativeDelay > 0:
+		return r.SpeculativeDelay
+	case r.SpeculativeDelay < 0:
+		return 0 // disabled
+	default:
+		return 10 * time.Second
+	}
+}
+
+// String renders the resolved backend for -stats attribution.
+func (r *NetRunner) String() string {
+	addr := r.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if r.NoSpawn {
+		return fmt.Sprintf("net://%s (external workers, attempts=%d)", addr, r.attempts())
+	}
+	return fmt.Sprintf("net://%s (spawn=%d, attempts=%d)", addr, r.workers(), r.attempts())
+}
+
+// Run implements Runner.
+func (r *NetRunner) Run(ctx context.Context, plan *Plan, counters *Counters, progress Progress) (Dataset, error) {
+	if plan.Spec == nil {
+		// No registered program a remote worker could rebuild; run where
+		// the closures live.
+		return LocalRunner{}.Run(ctx, plan, counters, progress)
+	}
+	if _, err := buildProgram(plan.Spec); err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", plan.Name, err)
+	}
+	workdir, err := os.MkdirTemp(plan.TempDir, "ngrams-net-"+sanitizeJobName(plan.Name)+"-*")
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: workdir: %w", plan.Name, err)
+	}
+	// Splits, side data, staged outputs, and — via netWorkerScratchEnv —
+	// every spawned worker's scratch live under the workdir, so one
+	// removal cleans up even after SIGKILLed workers.
+	defer os.RemoveAll(workdir)
+
+	splitPaths, err := materializeSplits(ctx, plan.Splits, workdir)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: materialize splits: %w", plan.Name, err)
+	}
+	sideFiles, err := materializeSideData(plan.SideData, workdir)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: side data: %w", plan.Name, err)
+	}
+	sink, err := plan.Sink(plan.NumReducers)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: sink: %w", plan.Name, err)
+	}
+
+	addr := r.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		abortSink(sink)
+		return nil, fmt.Errorf("mapreduce: job %q: coordinator listen %s: %w", plan.Name, addr, err)
+	}
+	baseURL := "http://" + advertiseAddr(ln.Addr())
+
+	c := newNetCoordinator(plan, sink, counters, progress, workdir, baseURL,
+		splitPaths, sideFiles, r.leaseTTL(), r.specDelay(), r.attempts())
+	srv := &http.Server{Handler: c.handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	progress.PhaseStart(plan.Name, "map")
+	c.start()
+
+	// Janitor: expire silent leases, detect dead workers.
+	janitorDone := make(chan struct{})
+	go func() {
+		defer close(janitorDone)
+		tick := time.NewTicker(max(r.leaseTTL()/4, 5*time.Millisecond))
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.doneCh:
+				return
+			case <-tick.C:
+				c.sweep()
+			}
+		}
+	}()
+
+	var pool *netWorkerPool
+	if !r.NoSpawn {
+		pool = newNetWorkerPool(c, counters, advertiseAddr(ln.Addr()), workdir, r.workers())
+		pool.start()
+	}
+
+	select {
+	case <-c.doneCh:
+	case <-ctx.Done():
+		c.fail(ctx.Err())
+	}
+	<-janitorDone
+	if pool != nil {
+		pool.stop(3 * time.Second)
+	}
+	srv.Close()
+
+	if err := c.err(); err != nil {
+		abortSink(sink)
+		return nil, err
+	}
+	out, err := sink.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: finish sink: %w", plan.Name, err)
+	}
+	return out, nil
+}
+
+// advertiseAddr turns a listener address into one workers can dial:
+// an unspecified host becomes the loopback address.
+func advertiseAddr(a net.Addr) string {
+	if tcp, ok := a.(*net.TCPAddr); ok && (tcp.IP == nil || tcp.IP.IsUnspecified()) {
+		return fmt.Sprintf("127.0.0.1:%d", tcp.Port)
+	}
+	return a.String()
+}
+
+// netWorkerPool spawns and supervises the runner's one-job worker
+// processes: a worker that dies while the job is still running is
+// replaced, up to a respawn budget, so a crash drill with few workers
+// cannot strand the job.
+type netWorkerPool struct {
+	c        *netCoordinator
+	counters *Counters
+	addr     string
+	workdir  string
+	target   int
+
+	mu      sync.Mutex
+	cmds    []*exec.Cmd
+	spawned int
+	budget  int
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+func newNetWorkerPool(c *netCoordinator, counters *Counters, addr, workdir string, target int) *netWorkerPool {
+	return &netWorkerPool{
+		c: c, counters: counters, addr: addr, workdir: workdir,
+		target: target, budget: 2*target + 4,
+	}
+}
+
+func (p *netWorkerPool) start() {
+	for i := 0; i < p.target; i++ {
+		p.spawn()
+	}
+}
+
+func (p *netWorkerPool) jobRunning() bool {
+	select {
+	case <-p.c.doneCh:
+		return false
+	default:
+		return true
+	}
+}
+
+func (p *netWorkerPool) spawn() {
+	p.mu.Lock()
+	if p.stopped || p.spawned >= p.budget {
+		p.mu.Unlock()
+		return
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		p.mu.Unlock()
+		p.c.fail(fmt.Errorf("mapreduce: job %q: locate executable: %w", p.c.plan.Name, err))
+		return
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		NetWorkerEnv+"="+p.addr,
+		netWorkerOneshotEnv+"=1",
+		netWorkerScratchEnv+"="+p.workdir,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		p.mu.Unlock()
+		p.c.fail(fmt.Errorf("mapreduce: job %q: spawn net worker: %w", p.c.plan.Name, err))
+		return
+	}
+	p.spawned++
+	p.counters.Add(CounterWorkerProcs, 1)
+	p.cmds = append(p.cmds, cmd)
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go func() {
+		defer p.wg.Done()
+		cmd.Wait()
+		p.mu.Lock()
+		stopped := p.stopped
+		p.mu.Unlock()
+		if !stopped && p.jobRunning() {
+			p.spawn() // replace a worker that died mid-job
+		}
+	}()
+}
+
+// stop gives workers a grace period to observe the drain and exit,
+// then kills stragglers.
+func (p *netWorkerPool) stop(grace time.Duration) {
+	p.mu.Lock()
+	p.stopped = true
+	cmds := append([]*exec.Cmd(nil), p.cmds...)
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		for _, cmd := range cmds {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+		}
+		<-done
+	}
+}
+
+func init() {
+	RegisterRunner("net", func(cfg RunnerConfig) (Runner, error) {
+		if cfg.Rest == "" {
+			return nil, fmt.Errorf("mapreduce: runner %q: want net://host:port (port 0 for ephemeral)", cfg.Address)
+		}
+		u, err := url.Parse("net://" + cfg.Rest)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: runner %q: %w", cfg.Address, err)
+		}
+		if u.Host == "" || u.Path != "" && u.Path != "/" {
+			return nil, fmt.Errorf("mapreduce: runner %q: want net://host:port", cfg.Address)
+		}
+		r := &NetRunner{Addr: u.Host, Workers: cfg.Workers, MaxAttempts: cfg.MaxAttempts}
+		for key, vals := range u.Query() {
+			switch key {
+			case "spawn":
+				n, err := strconv.Atoi(vals[len(vals)-1])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("mapreduce: runner %q: bad spawn count %q", cfg.Address, vals[len(vals)-1])
+				}
+				if n == 0 {
+					r.NoSpawn = true
+				} else {
+					r.Workers = n
+				}
+			case "ttl":
+				d, err := time.ParseDuration(vals[len(vals)-1])
+				if err != nil || d <= 0 {
+					return nil, fmt.Errorf("mapreduce: runner %q: bad lease ttl %q", cfg.Address, vals[len(vals)-1])
+				}
+				r.LeaseTTL = d
+			case "spec":
+				// Speculative-execution delay; "off" disables speculation
+				// (fault drills use it to make lease expiry the only
+				// recovery path for a stalled task).
+				if v := vals[len(vals)-1]; v == "off" {
+					r.SpeculativeDelay = -1
+				} else {
+					d, err := time.ParseDuration(v)
+					if err != nil || d <= 0 {
+						return nil, fmt.Errorf("mapreduce: runner %q: bad speculative delay %q (duration or \"off\")", cfg.Address, v)
+					}
+					r.SpeculativeDelay = d
+				}
+			default:
+				return nil, fmt.Errorf("mapreduce: runner %q: unknown parameter %q (known: spawn, ttl, spec)", cfg.Address, key)
+			}
+		}
+		return r, nil
+	})
+}

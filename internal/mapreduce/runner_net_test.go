@@ -1,0 +1,385 @@
+package mapreduce
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// netTestRunner builds a NetRunner tuned for tests: ephemeral
+// coordinator port, two workers, and a short lease TTL so fault drills
+// observe expiry and reassignment in well under a second.
+func netTestRunner() *NetRunner {
+	return &NetRunner{
+		Addr:        "127.0.0.1:0",
+		Workers:     2,
+		MaxAttempts: 3,
+		LeaseTTL:    400 * time.Millisecond,
+	}
+}
+
+// assertSameDataset compares two results partition by partition,
+// record by record.
+func assertSameDataset(t *testing.T, want, got *Result, wantName, gotName string) {
+	t.Helper()
+	wp, gp := collectPartitions(t, want.Output), collectPartitions(t, got.Output)
+	if len(wp) != len(gp) {
+		t.Fatalf("partitions: %s %d, %s %d", wantName, len(wp), gotName, len(gp))
+	}
+	for p := range wp {
+		if len(wp[p]) != len(gp[p]) {
+			t.Fatalf("partition %d: %s %d records, %s %d", p, wantName, len(wp[p]), gotName, len(gp[p]))
+		}
+		for i := range wp[p] {
+			if !bytes.Equal(wp[p][i].Key, gp[p][i].Key) || !bytes.Equal(wp[p][i].Value, gp[p][i].Value) {
+				t.Fatalf("partition %d record %d differs: %s (%q,%q) %s (%q,%q)",
+					p, i, wantName, wp[p][i].Key, wp[p][i].Value, gotName, gp[p][i].Key, gp[p][i].Value)
+			}
+		}
+	}
+}
+
+// TestNetRunnerMatchesLocal asserts the net backend produces
+// byte-identical output, per partition and in order, with equal record
+// counters — and that the work actually crossed the network.
+func TestNetRunnerMatchesLocal(t *testing.T) {
+	local, err := Run(context.Background(), wcJob(t, LocalRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netr, err := Run(context.Background(), wcJob(t, netTestRunner()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameDataset(t, local, netr, "local", "net")
+
+	for _, name := range []string{
+		CounterMapInputRecords, CounterMapOutputRecords, CounterMapOutputBytes,
+		CounterReduceInputGroups, CounterReduceInputRecords, CounterReduceOutputRecs,
+	} {
+		if l, n := local.Counters.Get(name), netr.Counters.Get(name); l != n {
+			t.Errorf("%s: local %d, net %d", name, l, n)
+		}
+	}
+	if got := netr.Counters.Get(CounterNetWorkers); got < 2 {
+		t.Errorf("NET_WORKERS = %d, want >= 2", got)
+	}
+	if got := netr.Counters.Get(CounterWorkerProcs); got < 2 {
+		t.Errorf("WORKER_PROCS = %d, want >= 2", got)
+	}
+	// Reduce inputs were pulled over HTTP from the shuffle services.
+	if got := netr.Counters.Get(CounterShuffleFetchBytes); got == 0 {
+		t.Error("SHUFFLE_FETCH_BYTES = 0, want > 0")
+	}
+	// The drained shuffle invariant holds across the wire.
+	if w, r := netr.Counters.Get(CounterShuffleBytesWritten), netr.Counters.Get(CounterShuffleBytesRead); w == 0 || w != r {
+		t.Errorf("shuffle bytes written/read = %d/%d, want equal and nonzero", w, r)
+	}
+	if got := local.Counters.Get(CounterNetWorkers); got != 0 {
+		t.Errorf("local runner registered %d net workers", got)
+	}
+}
+
+// TestNetRunnerRetriesCrashedMapWorker kills the worker holding map
+// task 0 mid-task (its shuffle service dies with it) and asserts the
+// lease expires, the task is retried elsewhere, and the output is
+// still byte-identical to the local runner's.
+func TestNetRunnerRetriesCrashedMapWorker(t *testing.T) {
+	t.Setenv(WorkerCrashEnv, "map:0")
+	local, err := Run(context.Background(), wcJob(t, LocalRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netr, err := Run(context.Background(), wcJob(t, netTestRunner()))
+	if err != nil {
+		t.Fatalf("job did not survive a crashed map worker: %v", err)
+	}
+	assertSameDataset(t, local, netr, "local", "net-with-crash")
+	if got := netr.Counters.Get(CounterTasksRetried); got < 1 {
+		t.Errorf("TASKS_RETRIED = %d, want >= 1", got)
+	}
+	if got := netr.Counters.Get(CounterLeasesExpired); got < 1 {
+		t.Errorf("LEASES_EXPIRED = %d, want >= 1 (the crashed worker's lease)", got)
+	}
+}
+
+// TestNetRunnerRecoversLostMapOutput kills the worker holding reduce
+// task 0. Any map runs that worker produced die with its shuffle
+// service, so surviving reduce attempts hit fetch failures; the
+// coordinator must re-execute the lost maps and still finish with
+// output byte-identical to the local runner's.
+func TestNetRunnerRecoversLostMapOutput(t *testing.T) {
+	t.Setenv(WorkerCrashEnv, "reduce:0")
+	local, err := Run(context.Background(), wcJob(t, LocalRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netr, err := Run(context.Background(), wcJob(t, netTestRunner()))
+	if err != nil {
+		t.Fatalf("job did not survive a crashed reduce worker: %v", err)
+	}
+	assertSameDataset(t, local, netr, "local", "net-with-crash")
+	retried := netr.Counters.Get(CounterTasksRetried)
+	expired := netr.Counters.Get(CounterLeasesExpired)
+	if retried < 1 && expired < 1 {
+		t.Errorf("TASKS_RETRIED = %d, LEASES_EXPIRED = %d, want at least one recovery event", retried, expired)
+	}
+}
+
+// TestNetRunnerExpiresSilentLease mutes the worker holding map task 0:
+// it keeps the lease but stops all contact. The coordinator must
+// expire the lease, reassign the task, and finish correctly.
+func TestNetRunnerExpiresSilentLease(t *testing.T) {
+	t.Setenv(NetWorkerMuteEnv, "map:0")
+	local, err := Run(context.Background(), wcJob(t, LocalRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netr, err := Run(context.Background(), wcJob(t, netTestRunner()))
+	if err != nil {
+		t.Fatalf("job did not survive a silent worker: %v", err)
+	}
+	assertSameDataset(t, local, netr, "local", "net-with-mute")
+	if got := netr.Counters.Get(CounterLeasesExpired); got < 1 {
+		t.Errorf("LEASES_EXPIRED = %d, want >= 1", got)
+	}
+	if got := netr.Counters.Get(CounterTasksRetried); got < 1 {
+		t.Errorf("TASKS_RETRIED = %d, want >= 1", got)
+	}
+}
+
+// TestNetRunnerCrashExhaustsAttempts caps the budget at 1 so the
+// injected crash must fail the job, attributing the expired lease.
+func TestNetRunnerCrashExhaustsAttempts(t *testing.T) {
+	t.Setenv(WorkerCrashEnv, "map:0")
+	r := netTestRunner()
+	r.MaxAttempts = 1
+	_, err := Run(context.Background(), wcJob(t, r))
+	if err == nil {
+		t.Fatal("job succeeded despite an unretried worker crash")
+	}
+	if !strings.Contains(err.Error(), "after 1 attempt") {
+		t.Errorf("error does not mention exhausted attempts: %v", err)
+	}
+}
+
+// TestNetRunnerMapOnly checks the map-only path (no shuffle, output
+// uploaded straight to the coordinator) matches the local runner.
+func TestNetRunnerMapOnly(t *testing.T) {
+	mk := func(runner Runner) *Job {
+		job := wcJob(t, runner)
+		job.Spec = &Spec{Program: tagProgram}
+		return job
+	}
+	local, err := Run(context.Background(), mk(LocalRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netr, err := Run(context.Background(), mk(netTestRunner()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l, n := local.Output.Records(), netr.Output.Records(); l != n || l == 0 {
+		t.Fatalf("map-only records: local %d, net %d", l, n)
+	}
+}
+
+// TestNetRunnerExternalWorkers runs a NoSpawn coordinator on a fixed
+// port with two externally connected workers (the RunNetWorker library
+// path behind `ngrams -worker-connect`).
+func TestNetRunnerExternalWorkers(t *testing.T) {
+	// Reserve a port for the coordinator so the workers know where to
+	// dial before it exists; they retry until it is up.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunNetWorker(ctx, "net://"+addr); err != nil {
+				t.Errorf("external worker: %v", err)
+			}
+		}()
+	}
+
+	local, err := Run(context.Background(), wcJob(t, LocalRunner{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := netTestRunner()
+	r.Addr = addr
+	r.NoSpawn = true
+	netr, err := Run(context.Background(), wcJob(t, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	wg.Wait()
+
+	assertSameDataset(t, local, netr, "local", "net-external")
+	if got := netr.Counters.Get(CounterWorkerProcs); got != 0 {
+		t.Errorf("NoSpawn runner spawned %d worker processes", got)
+	}
+	if got := netr.Counters.Get(CounterNetWorkers); got < 2 {
+		t.Errorf("NET_WORKERS = %d, want >= 2", got)
+	}
+}
+
+// TestNetRunnerFallsBackWithoutSpec runs a closure-only job under the
+// net runner: no registered program a remote worker could rebuild, so
+// it must execute in-process.
+func TestNetRunnerFallsBackWithoutSpec(t *testing.T) {
+	job := wcJob(t, netTestRunner())
+	job.Spec = nil
+	job.NewMapper = func() Mapper {
+		return MapperFunc(func(key, value []byte, emit Emit) error {
+			return emit([]byte("k"), []byte("v"))
+		})
+	}
+	job.NewReducer = func() Reducer {
+		return ReducerFunc(func(key []byte, values *Values, emit Emit) error {
+			for values.Next() {
+			}
+			return emit(key, []byte("done"))
+		})
+	}
+	res, err := Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counters.Get(CounterWorkerProcs); got != 0 {
+		t.Errorf("spec-less job spawned %d worker procs", got)
+	}
+	if res.Output.Records() == 0 {
+		t.Error("no output records")
+	}
+}
+
+// TestNewRunnerAddresses exercises the registry parsing: every shipped
+// scheme resolves, scheme-specific parameters are honored, and
+// malformed or unknown addresses fail loudly.
+func TestNewRunnerAddresses(t *testing.T) {
+	if r, err := NewRunner("", 0, 0); err != nil {
+		t.Errorf("empty address: %v", err)
+	} else if _, ok := r.(LocalRunner); !ok {
+		t.Errorf("empty address resolved to %T, want LocalRunner", r)
+	}
+	if r, err := NewRunner("LOCAL", 0, 0); err != nil {
+		t.Errorf("case-insensitive scheme: %v", err)
+	} else if _, ok := r.(LocalRunner); !ok {
+		t.Errorf("LOCAL resolved to %T, want LocalRunner", r)
+	}
+	if r, err := NewRunner("process", 3, 2); err != nil {
+		t.Errorf("process: %v", err)
+	} else if pr, ok := r.(*ProcessRunner); !ok {
+		t.Errorf("process resolved to %T, want *ProcessRunner", r)
+	} else if pr.Workers != 3 || pr.MaxAttempts != 2 {
+		t.Errorf("process knobs = (%d,%d), want (3,2)", pr.Workers, pr.MaxAttempts)
+	}
+
+	if r, err := NewRunner("net://127.0.0.1:7001?spawn=3", 0, 2); err != nil {
+		t.Errorf("net with spawn: %v", err)
+	} else if nr, ok := r.(*NetRunner); !ok {
+		t.Errorf("net resolved to %T, want *NetRunner", r)
+	} else if nr.Addr != "127.0.0.1:7001" || nr.Workers != 3 || nr.NoSpawn || nr.MaxAttempts != 2 {
+		t.Errorf("net runner = %+v, want addr 127.0.0.1:7001, 3 workers, spawning", nr)
+	}
+	if r, err := NewRunner("net://coord.example:7001?spawn=0", 0, 0); err != nil {
+		t.Errorf("net with spawn=0: %v", err)
+	} else if nr := r.(*NetRunner); !nr.NoSpawn {
+		t.Error("spawn=0 did not disable spawning")
+	}
+	if r, err := NewRunner("net://127.0.0.1:7001?ttl=2s&spec=off", 0, 0); err != nil {
+		t.Errorf("net with ttl/spec: %v", err)
+	} else if nr := r.(*NetRunner); nr.LeaseTTL != 2*time.Second || nr.SpeculativeDelay >= 0 {
+		t.Errorf("ttl/spec knobs = (%v,%v), want (2s, disabled)", nr.LeaseTTL, nr.SpeculativeDelay)
+	}
+	if r, err := NewRunner("net://127.0.0.1:7001?spec=30s", 0, 0); err != nil {
+		t.Errorf("net with spec duration: %v", err)
+	} else if nr := r.(*NetRunner); nr.SpeculativeDelay != 30*time.Second {
+		t.Errorf("spec=30s parsed as %v", nr.SpeculativeDelay)
+	}
+
+	for _, bad := range []string{
+		"proces",                         // typo'd scheme
+		"tcp://127.0.0.1:7001",           // unknown scheme
+		"net://",                         // missing address
+		"net://127.0.0.1:7001?spwan=3",   // typo'd parameter
+		"net://127.0.0.1:7001?spawn=x",   // malformed count
+		"net://127.0.0.1:7001?ttl=fast",  // malformed duration
+		"net://127.0.0.1:7001?ttl=-2s",   // non-positive TTL
+		"net://127.0.0.1:7001?spec=soon", // malformed delay
+		"net://host:7001/path",           // junk path
+		"process://somewhere",            // address on an addressless backend
+		"local://somewhere",
+	} {
+		if _, err := NewRunner(bad, 0, 0); err == nil {
+			t.Errorf("NewRunner(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestSplitRunnerAddress pins the address grammar NewRunner builds on.
+func TestSplitRunnerAddress(t *testing.T) {
+	for _, tc := range []struct{ in, scheme, rest string }{
+		{"", "local", ""},
+		{"local", "local", ""},
+		{"Process", "process", ""},
+		{"net://127.0.0.1:0", "net", "127.0.0.1:0"},
+		{"NET://h:1?spawn=2", "net", "h:1?spawn=2"},
+	} {
+		scheme, rest := splitRunnerAddress(tc.in)
+		if scheme != tc.scheme || rest != tc.rest {
+			t.Errorf("splitRunnerAddress(%q) = (%q,%q), want (%q,%q)", tc.in, scheme, rest, tc.scheme, tc.rest)
+		}
+	}
+}
+
+// TestRegisterRunnerRejectsBadSchemes pins the registration contract:
+// malformed schemes and duplicates panic at init time rather than
+// shadowing each other silently.
+func TestRegisterRunnerRejectsBadSchemes(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	dummy := func(RunnerConfig) (Runner, error) { return LocalRunner{}, nil }
+	expectPanic("empty scheme", func() { RegisterRunner("", dummy) })
+	expectPanic("scheme with separator", func() { RegisterRunner("a://b", dummy) })
+	expectPanic("nil factory", func() { RegisterRunner("nilfactory", nil) })
+	expectPanic("duplicate scheme", func() { RegisterRunner("local", dummy) })
+}
+
+// TestNetRunnerEnvSweep runs the job with NGRAMS_RUNNER pointed at the
+// net backend — the path the CI net tier uses for the whole suite.
+func TestNetRunnerEnvSweep(t *testing.T) {
+	t.Setenv(RunnerEnv, "net://127.0.0.1:0?spawn=2")
+	job := wcJob(t, nil)
+	res, err := Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Counters.Get(CounterNetWorkers); got < 1 {
+		t.Errorf("NET_WORKERS = %d, want >= 1", got)
+	}
+	if res.Output.Records() == 0 {
+		t.Error("no output records")
+	}
+}

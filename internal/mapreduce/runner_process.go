@@ -46,6 +46,20 @@ type ProcessRunner struct {
 	MaxAttempts int
 }
 
+func init() {
+	RegisterRunner("process", func(cfg RunnerConfig) (Runner, error) {
+		if cfg.Rest != "" {
+			return nil, fmt.Errorf("mapreduce: runner %q: the process backend takes no address", cfg.Address)
+		}
+		return &ProcessRunner{Workers: cfg.Workers, MaxAttempts: cfg.MaxAttempts}, nil
+	})
+}
+
+// String renders the resolved backend for -stats attribution.
+func (r *ProcessRunner) String() string {
+	return fmt.Sprintf("process (workers=%d, attempts=%d)", r.workers(), r.attempts())
+}
+
 func (r *ProcessRunner) workers() int {
 	if r.Workers > 0 {
 		return r.Workers

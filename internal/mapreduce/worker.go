@@ -43,14 +43,16 @@ const workerBanner = "ngrams-mr-worker/1"
 
 // RunWorkerIfRequested turns the current process into a MapReduce task
 // worker when WorkerEnv is set, and never returns in that case: it
-// serves exactly one task and exits. Call it first thing in main() —
-// or in TestMain for test binaries — of every program that may execute
-// jobs under the ProcessRunner; it is a no-op otherwise.
+// serves exactly one task and exits. It also checks NetWorkerEnv (via
+// RunNetWorkerIfRequested), so one hook covers both worker-based
+// backends. Call it first thing in main() — or in TestMain for test
+// binaries — of every program that may execute jobs under the
+// ProcessRunner or NetRunner; it is a no-op otherwise.
 func RunWorkerIfRequested() {
-	if os.Getenv(WorkerEnv) == "" {
-		return
+	if os.Getenv(WorkerEnv) != "" {
+		os.Exit(workerMain(os.Stdin, os.Stdout))
 	}
-	os.Exit(workerMain(os.Stdin, os.Stdout))
+	RunNetWorkerIfRequested()
 }
 
 // workerSpec is the task assignment a worker reads from stdin.

@@ -55,20 +55,28 @@ const (
 // tasks. The zero value keeps the in-process default (goroutine
 // tasks), unless the NGRAMS_RUNNER environment variable overrides it.
 type Execution struct {
-	// Runner names the backend: "local" executes tasks as goroutines in
-	// this process, "process" executes every map/reduce task in a
-	// separate worker OS process (a re-execution of the current binary;
+	// Runner is the backend address: "local" executes tasks as
+	// goroutines in this process; "process" executes every map/reduce
+	// task in a separate worker OS process; "net://host:port[?spawn=N]"
+	// starts an HTTP coordinator on host:port and drives net workers
+	// with task leases, heartbeats, retry, and a shuffle-transfer
+	// service (spawn=N fixes the number of spawned workers, spawn=0
+	// relies entirely on externally connected `ngrams -worker-connect`
+	// workers). Worker-based backends re-execute the current binary;
 	// wire mapreduce.RunWorkerIfRequested into main for non-library
-	// binaries — the ngrams and experiments commands already do).
-	// Empty selects the default, honoring NGRAMS_RUNNER.
+	// binaries — the ngrams and experiments commands already do. Any
+	// scheme registered via mapreduce.RegisterRunner is accepted;
+	// unknown ones are a Start error. Empty selects the default,
+	// honoring NGRAMS_RUNNER.
 	Runner string
-	// Workers bounds concurrently running worker processes under the
-	// process runner (default: GOMAXPROCS).
+	// Workers bounds concurrently running worker processes (process
+	// backend: default GOMAXPROCS; net backend: spawned workers,
+	// default max(2, GOMAXPROCS)).
 	Workers int
-	// MaxAttempts is how many times a task is attempted under the
-	// process runner before the computation fails; attempts beyond the
-	// first run on a fresh worker process with a clean scratch
-	// directory (default: 2, i.e. one retry).
+	// MaxAttempts is the per-task failure budget before the computation
+	// fails; attempts beyond the first run on a fresh worker with a
+	// clean scratch directory, and under the net backend expired leases
+	// count against it (default: 2, i.e. one retry).
 	MaxAttempts int
 }
 
