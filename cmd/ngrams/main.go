@@ -178,7 +178,9 @@ func main() {
 		}
 	}
 	if *save != "" {
-		if err := result.Save(*save); err != nil {
+		// Replace lets a rerun refresh an existing index in place; a
+		// watching ngramsd (-watch) hot-swaps to it without downtime.
+		if err := result.SaveWith(*save, ngramstats.SaveOptions{Replace: true}); err != nil {
 			fmt.Fprintln(os.Stderr, "ngrams: save:", err)
 			os.Exit(1)
 		}
@@ -221,20 +223,22 @@ func serveResult(ctx context.Context, result *ngramstats.Result, savedDir, addr 
 			return err
 		}
 	}
-	ix, err := ngramstats.OpenIndex(dir)
+	srv, err := serving.NewServer(serving.ServerOptions{
+		Indexes: map[string]serving.IndexConfig{"input": {Dir: dir}},
+	})
 	if err != nil {
 		return err
 	}
-	defer ix.Close()
+	defer srv.Close()
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	ready := make(chan string, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "ngrams: serving %d n-grams on http://%s (/lookup /prefix /topk /healthz /metrics); interrupt to stop\n",
-			ix.Len(), <-ready)
+		fmt.Fprintf(os.Stderr, "ngrams: serving %d n-grams on http://%s (/v1/lookup /v1/prefix /v1/topk /v1/query /healthz /metrics); interrupt to stop\n",
+			result.Len(), <-ready)
 	}()
-	return serving.ListenAndServe(ctx, addr, serving.New(map[string]*ngramstats.Index{"input": ix}), ready)
+	return serving.ListenAndServe(ctx, addr, srv, ready)
 }
 
 // watch prints progress snapshots to stderr until the job finishes.

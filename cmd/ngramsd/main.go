@@ -6,16 +6,29 @@
 //
 //	ngramsd -index /data/books-idx
 //	ngramsd -addr :8091 -index nyt=/data/nyt-idx -index web=/data/web-idx
+//	ngramsd -index /data/books-idx -watch -lm 3
 //
 // Each -index flag names one index directory, optionally as
 // name=path; without a name the directory's base name is used. With a
 // single index the name may be omitted from queries:
 //
-//	curl 'localhost:8091/lookup?q=new+york'
-//	curl 'localhost:8091/prefix?q=new&limit=10'
-//	curl 'localhost:8091/topk?k=25&index=nyt'
+//	curl 'localhost:8091/v1/lookup?q=new+york'
+//	curl 'localhost:8091/v1/prefix?q=new&limit=10'
+//	curl 'localhost:8091/v1/topk?k=25&index=nyt'
+//	curl -d '{"ops":[{"op":"lookup","q":"new york"},{"op":"topk","k":5}]}' localhost:8091/v1/query
+//	curl 'localhost:8091/v1/lm/score?q=the+new+york+times'   (with -lm)
+//	curl 'localhost:8091/v1/lm/predict?q=new&k=5'            (with -lm)
+//	curl -X POST 'localhost:8091/v1/admin/reload'
 //	curl 'localhost:8091/healthz'
 //	curl 'localhost:8091/metrics'
+//
+// The pre-/v1 endpoints (/lookup, /prefix, /topk) keep working with
+// their original response shapes, marked with a Deprecation header.
+//
+// Indexes reload without downtime: -watch polls each index's manifest
+// and swaps to the rewritten index (Result.Save with Replace) as soon
+// as it lands; POST /v1/admin/reload triggers the same swap on demand.
+// In-flight queries finish on the generation they started on.
 //
 // The daemon is read-only and serves all indexes concurrently; shut it
 // down with SIGINT or SIGTERM (in-flight requests drain gracefully).
@@ -31,8 +44,8 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
-	"ngramstats"
 	"ngramstats/internal/serving"
 )
 
@@ -43,6 +56,15 @@ func main() {
 	var specs []string
 	addr := flag.String("addr", ":8091", "listen address")
 	cacheBlocks := flag.Int("cache-blocks", 0, "decoded-block cache size per index in blocks (0 = default 128, negative = disabled)")
+	watch := flag.Bool("watch", false, "watch index manifests and hot-swap to rewritten indexes automatically")
+	watchInterval := flag.Duration("watch-interval", time.Second, "manifest poll interval with -watch")
+	lmOrder := flag.Int("lm", 0, "train an n-gram language model of this order per index and enable /v1/lm endpoints (0 = disabled)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent requests per query endpoint before queueing (0 = default)")
+	maxQueue := flag.Int("max-queue", 0, "queued requests per query endpoint before shedding (0 = default 2x max-inflight)")
+	queueTimeout := flag.Duration("queue-timeout", 0, "how long a queued request waits before being shed with 429 (0 = default)")
+	maxLimit := flag.Int("max-limit", 0, "largest accepted prefix limit parameter (0 = default)")
+	maxK := flag.Int("max-k", 0, "largest accepted k parameter (0 = default)")
+	maxBatch := flag.Int("max-batch", 0, "most operations accepted per /v1/query batch (0 = default)")
 	flag.Func("index", "index directory to serve, optionally name=path (repeatable)", func(v string) error {
 		specs = append(specs, v)
 		return nil
@@ -54,7 +76,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	indexes := make(map[string]*ngramstats.Index, len(specs))
+	indexes := make(map[string]serving.IndexConfig, len(specs))
 	for _, spec := range specs {
 		// name=path only when the part before '=' looks like a name: a
 		// path separator there means the '=' belongs to a bare path
@@ -67,20 +89,35 @@ func main() {
 		if _, dup := indexes[name]; dup {
 			log.Fatalf("duplicate index name %q (use name=path to disambiguate)", name)
 		}
-		ix, err := ngramstats.OpenIndexWith(dir, ngramstats.IndexOptions{CacheBlocks: *cacheBlocks})
-		if err != nil {
-			log.Fatalf("open index %s: %v", dir, err)
-		}
-		defer ix.Close()
-		indexes[name] = ix
-		log.Printf("serving %q: %d n-grams in %d shards (corpus %q)",
-			name, ix.Len(), ix.Shards(), ix.Corpus())
+		indexes[name] = serving.IndexConfig{Dir: dir, CacheBlocks: *cacheBlocks}
+	}
+
+	srv, err := serving.NewServer(serving.ServerOptions{
+		Indexes:      indexes,
+		MaxInflight:  *maxInflight,
+		MaxQueue:     *maxQueue,
+		QueueTimeout: *queueTimeout,
+		MaxLimit:     *maxLimit,
+		MaxK:         *maxK,
+		MaxBatch:     *maxBatch,
+		LMOrder:      *lmOrder,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("%v", err)
+	}
+	defer srv.Close()
+	for _, name := range srv.Names() {
+		log.Printf("serving %q", name)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *watch {
+		go srv.Watch(ctx, *watchInterval)
+		log.Printf("watching manifests every %v", *watchInterval)
+	}
 
-	srv := serving.New(indexes)
 	ready := make(chan string, 1)
 	go func() { log.Printf("listening on %s", <-ready) }()
 	if err := serving.ListenAndServe(ctx, *addr, srv, ready); err != nil {

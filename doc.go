@@ -86,9 +86,43 @@
 // surfaces as an error wrapping index.ErrCorrupt or
 // extsort.ErrCorruptRun, never as silently wrong statistics.
 //
-// The cmd/ngramsd daemon serves one or more indexes over HTTP
-// (/lookup, /prefix, /topk, /healthz, /metrics), and cmd/ngrams can
-// save (-save) or compute-and-serve (-serve) directly.
+// An index directory can be rewritten in place without disturbing its
+// readers: SaveOptions.Replace stages the new index in a generation
+// subdirectory and swaps the manifest atomically, so the directory is
+// openable at every instant and an Index opened before the swap keeps
+// answering from its generation. Close is drain-aware — queries in
+// flight finish normally and the files close when the last one ends,
+// while queries started after Close fail with ErrIndexClosed. These
+// two properties are what the serving daemon's zero-downtime reload is
+// built from.
+//
+// The cmd/ngramsd daemon serves one or more indexes over a versioned
+// HTTP API (/v1/lookup, /v1/prefix, /v1/topk, batched POST /v1/query,
+// /v1/lm/score, /v1/lm/predict, POST /v1/admin/reload, /healthz,
+// /metrics), hot-swaps to rewritten indexes (-watch or the admin
+// endpoint) with zero dropped requests, and sheds excess load per
+// endpoint with 429 + Retry-After. cmd/ngrams can save (-save) or
+// compute-and-serve (-serve) directly.
+//
+// # Language models
+//
+// NewLanguageModel trains an n-gram language model from a live Result;
+// NewLanguageModelFromIndex trains the identical model from a saved
+// index by streaming its records through the persisted dictionary — no
+// recomputation, and the index may be closed once the model is built:
+//
+//	index, err := ngramstats.OpenIndex("/data/books-idx")
+//	if err != nil { ... }
+//	lm, err := ngramstats.NewLanguageModelFromIndex(index, 3)
+//	if err != nil { ... }
+//	index.Close()
+//	logp := lm.LogProb([]string{"the", "new", "york", "times"}) // Katz back-off
+//	next := lm.Predict([]string{"new", "york"}, 5)              // stupid backoff
+//
+// Score, Predict, and Generate use stupid backoff (Brants et al.);
+// LogProb uses Katz back-off with Good-Turing discounting and returns
+// true log-probabilities. This is what ngramsd -lm exposes over
+// /v1/lm/score and /v1/lm/predict.
 //
 // # Quick start
 //

@@ -57,6 +57,11 @@ const (
 // callers should treat either as "this index cannot be trusted".
 var ErrCorrupt = errors.New("index: corrupt index")
 
+// ErrClosed is reported by queries issued after Close. In-flight
+// queries at the time of Close complete normally (the shard files stay
+// open until the last one drains); only newly started queries fail.
+var ErrClosed = errors.New("index: index closed")
+
 func corruptf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"ngramstats/internal/dictionary"
@@ -27,14 +28,28 @@ type Options struct {
 // Index is a read-only handle on a committed index directory. All state
 // is immutable after Open and shard reads use pread, so any number of
 // goroutines may query one Index concurrently without external locking.
+//
+// Close is refcounted against in-flight queries: every file-touching
+// query pins the handle for its duration, Close marks the handle closed
+// immediately (new queries fail with ErrClosed) and the shard files are
+// actually closed when the last in-flight query drains — so a serving
+// layer may retire an index generation under live traffic without
+// coordinating with its readers.
 type Index struct {
-	dir    string
-	man    manifest
-	dict   *dictionary.Dictionary
-	shards []*shard
-	top    *extsort.DecodedBlock // nil when absent; rank order
-	topN   int64
-	cache  *kvstore.LRU
+	dir     string
+	man     manifest
+	manTime time.Time // MANIFEST.json mtime observed at Open
+	dict    *dictionary.Dictionary
+	shards  []*shard
+	top     *extsort.DecodedBlock // nil when absent; rank order
+	topN    int64
+	cache   *kvstore.LRU
+
+	// refs counts the handle's own base reference (1) plus one per
+	// in-flight query; the transition to 0 closes the shard files.
+	// closed flips on Close, failing new acquisitions immediately.
+	refs   atomic.Int64
+	closed atomic.Bool
 }
 
 // shard is one open sorted shard.
@@ -59,9 +74,12 @@ func Open(dir string, opts Options) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("index: read manifest checksum: %w", err)
 	}
-	// Exact-content comparison: every byte of the checksum file is
-	// meaningful, so any damage to it (or the manifest) is detected.
-	if want := fmt.Sprintf("%08x\n", crc32.Checksum(data, crcTable)); string(crcData) != want {
+	// The checksum file holds one CRC line per manifest it vouches for:
+	// exactly one for a committed index, transiently two while Commit
+	// replaces an existing index (old and new manifest are both valid
+	// during the swap, so a crash between the renames never leaves the
+	// directory unopenable). Any line must match exactly.
+	if !manifestCRCMatches(crcData, crc32.Checksum(data, crcTable)) {
 		return nil, corruptf("manifest checksum mismatch")
 	}
 	var man manifest
@@ -72,6 +90,10 @@ func Open(dir string, opts Options) (*Index, error) {
 		return nil, corruptf("unsupported index format version %d", man.Version)
 	}
 	ix := &Index{dir: dir, man: man}
+	ix.refs.Store(1) // the handle's own base reference, dropped by Close
+	if st, err := os.Stat(filepath.Join(dir, ManifestFile)); err == nil {
+		ix.manTime = st.ModTime()
+	}
 	if opts.CacheBlocks == 0 {
 		opts.CacheBlocks = 128
 	}
@@ -115,6 +137,21 @@ func Open(dir string, opts Options) (*Index, error) {
 		}
 	}
 	return ix, nil
+}
+
+// manifestCRCMatches reports whether any complete (newline-terminated)
+// line of the checksum file is exactly the %08x rendering of crc. A
+// final unterminated fragment never matches, so truncation anywhere in
+// the file is detected.
+func manifestCRCMatches(crcData []byte, crc uint32) bool {
+	want := fmt.Sprintf("%08x", crc)
+	lines := bytes.Split(crcData, []byte("\n"))
+	for _, line := range lines[:len(lines)-1] {
+		if string(line) == want {
+			return true
+		}
+	}
+	return false
 }
 
 func (ix *Index) loadDictionary() error {
@@ -221,17 +258,54 @@ func (ix *Index) loadTop() error {
 	return nil
 }
 
-// Close releases the open shard files. In-flight queries on other
-// goroutines must have completed.
-func (ix *Index) Close() error {
+// acquire pins the index against Close for the duration of one query.
+// It fails with ErrClosed once Close has been called: a pin is only
+// granted while the reference count is positive, which guarantees the
+// shard files cannot be closed before the matching release.
+func (ix *Index) acquire() error {
+	if ix.closed.Load() {
+		return ErrClosed
+	}
+	for {
+		r := ix.refs.Load()
+		if r <= 0 {
+			return ErrClosed
+		}
+		if ix.refs.CompareAndSwap(r, r+1) {
+			return nil
+		}
+	}
+}
+
+// release drops one pin; the last release after Close closes the shard
+// files.
+func (ix *Index) release() error {
+	if ix.refs.Add(-1) == 0 {
+		return ix.closeFiles()
+	}
+	return nil
+}
+
+func (ix *Index) closeFiles() error {
 	var first error
 	for _, sh := range ix.shards {
 		if err := sh.f.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	ix.shards = nil
 	return first
+}
+
+// Close marks the index closed — subsequent queries fail with ErrClosed
+// — and drops the handle's base reference. The shard files are closed
+// now if no query is in flight, otherwise by the last query to drain;
+// in the latter case any file-close error is not reported. Close is
+// idempotent.
+func (ix *Index) Close() error {
+	if ix.closed.Swap(true) {
+		return nil
+	}
+	return ix.release()
 }
 
 // Records returns the number of indexed n-grams.
@@ -261,6 +335,11 @@ func (ix *Index) Counters() map[string]int64 {
 
 // Shards returns the number of shard files.
 func (ix *Index) Shards() int { return len(ix.shards) }
+
+// ManifestTime returns the modification time of MANIFEST.json observed
+// when the index was opened — the freshness anchor a serving layer
+// compares against the on-disk manifest to detect a rewritten index.
+func (ix *Index) ManifestTime() time.Time { return ix.manTime }
 
 // Dictionary returns the term dictionary recorded at save time.
 func (ix *Index) Dictionary() *dictionary.Dictionary { return ix.dict }
@@ -330,6 +409,10 @@ func (ix *Index) findShard(key []byte) int {
 // exactly one block, served from the cache when hot. The returned slice
 // aliases immutable cache memory and must not be modified.
 func (ix *Index) Get(key []byte) ([]byte, bool, error) {
+	if err := ix.acquire(); err != nil {
+		return nil, false, err
+	}
+	defer ix.release()
 	s := ix.findShard(key)
 	if s < 0 {
 		return nil, false, nil
@@ -360,6 +443,10 @@ func StopScan() error { return errStopScan }
 // the block cache; full scans bypass it so one NGrams pass cannot evict
 // the hot set. The slices passed to fn are valid only during the call.
 func (ix *Index) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
+	if err := ix.acquire(); err != nil {
+		return err
+	}
+	defer ix.release()
 	useCache := lo != nil || hi != nil
 	s := 0
 	if lo != nil {

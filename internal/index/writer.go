@@ -36,6 +36,15 @@ type WriterOptions struct {
 	Jobs      int
 	Wallclock time.Duration
 	Counters  map[string]int64
+	// Replace allows writing over a directory that already contains a
+	// committed index. The new index's data files are staged in a fresh
+	// generation subdirectory and the manifest is swapped in atomically
+	// at Commit, so concurrent readers of the old index (and Opens
+	// racing the swap) are never disturbed: an open Index keeps serving
+	// the old generation's files until it is closed, and the directory
+	// is openable at every instant of the replacement. The files of the
+	// replaced generation are unlinked after the swap.
+	Replace bool
 }
 
 // Writer builds an index directory. Usage: NewWriter, SetDictionary,
@@ -48,10 +57,18 @@ type Writer struct {
 	opts WriterOptions
 	man  manifest
 
-	perShard int64
-	appended int64
-	lastKey  []byte
-	haveDict bool
+	// sub is the directory-relative generation subdirectory data files
+	// are written into when replacing an existing index ("" writes the
+	// flat layout into dir directly); stale lists the replaced
+	// generation's files, unlinked after Commit's manifest swap.
+	sub   string
+	stale []string
+
+	perShard  int64
+	appended  int64
+	lastKey   []byte
+	haveDict  bool
+	committed bool
 
 	cur *shardFile // open shard being appended to
 	top *shardFile // open top.run, if any
@@ -59,7 +76,8 @@ type Writer struct {
 
 // shardFile is one run file being written.
 type shardFile struct {
-	path  string
+	path  string // absolute
+	rel   string // dir-relative, as recorded in the manifest
 	f     *os.File
 	bw    *bufio.Writer
 	rw    *extsort.RunWriter
@@ -82,14 +100,28 @@ func NewWriter(dir string, opts WriterOptions) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("index: create %s: %w", dir, err)
 	}
+	var sub string
+	var stale []string
 	if _, err := os.Stat(filepath.Join(dir, ManifestFile)); err == nil {
-		return nil, fmt.Errorf("index: %s already contains an index", dir)
+		if !opts.Replace {
+			return nil, fmt.Errorf("index: %s already contains an index", dir)
+		}
+		// Replacing a committed index: stage the new generation's data
+		// files in a fresh subdirectory so nothing the old manifest
+		// references is touched before the manifest swap, and remember
+		// the old generation's files for post-swap cleanup.
+		stale = committedFiles(dir)
+		gen, err := os.MkdirTemp(dir, "gen-")
+		if err != nil {
+			return nil, fmt.Errorf("index: create generation dir: %w", err)
+		}
+		sub = filepath.Base(gen)
 	}
 	perShard := int64(1)
 	if opts.Records > 0 {
 		perShard = (opts.Records + int64(opts.Shards) - 1) / int64(opts.Shards)
 	}
-	w := &Writer{dir: dir, opts: opts, perShard: perShard}
+	w := &Writer{dir: dir, opts: opts, sub: sub, stale: stale, perShard: perShard}
 	w.man = manifest{
 		Version:     FormatVersion,
 		Corpus:      opts.Corpus,
@@ -102,11 +134,36 @@ func NewWriter(dir string, opts WriterOptions) (*Writer, error) {
 	return w, nil
 }
 
+// committedFiles lists the data files the directory's committed
+// manifest references (dir-relative), best-effort: a malformed old
+// manifest simply yields nothing to clean up.
+func committedFiles(dir string) []string {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil
+	}
+	var man manifest
+	if json.Unmarshal(data, &man) != nil {
+		return nil
+	}
+	var files []string
+	if man.Dict.File != "" {
+		files = append(files, man.Dict.File)
+	}
+	for _, s := range man.Shards {
+		files = append(files, s.File)
+	}
+	if man.Top != nil {
+		files = append(files, man.Top.File)
+	}
+	return files
+}
+
 // SetDictionary writes the dictionary file from the given serializer,
 // recording its size and CRC-32C in the manifest.
 func (w *Writer) SetDictionary(save func(io.Writer) error) error {
-	path := filepath.Join(w.dir, DictionaryFile)
-	f, err := os.Create(path)
+	rel := filepath.Join(w.sub, DictionaryFile)
+	f, err := os.Create(filepath.Join(w.dir, rel))
 	if err != nil {
 		return fmt.Errorf("index: create dictionary: %w", err)
 	}
@@ -119,7 +176,7 @@ func (w *Writer) SetDictionary(save func(io.Writer) error) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("index: close dictionary: %w", err)
 	}
-	w.man.Dict = fileInfo{File: DictionaryFile, Bytes: counted.n, CRC: crc.Sum32()}
+	w.man.Dict = fileInfo{File: rel, Bytes: counted.n, CRC: crc.Sum32()}
 	w.haveDict = true
 	return nil
 }
@@ -136,13 +193,14 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 }
 
 func (w *Writer) openShard(name string) (*shardFile, error) {
-	path := filepath.Join(w.dir, name)
+	rel := filepath.Join(w.sub, name)
+	path := filepath.Join(w.dir, rel)
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: create shard: %w", err)
 	}
 	bw := bufio.NewWriterSize(f, 256<<10)
-	return &shardFile{path: path, f: f, bw: bw, rw: extsort.NewRunWriter(bw, w.opts.Codec)}, nil
+	return &shardFile{path: path, rel: rel, f: f, bw: bw, rw: extsort.NewRunWriter(bw, w.opts.Codec)}, nil
 }
 
 // finishShard completes the open run file and returns its inventory.
@@ -160,7 +218,7 @@ func finishShard(s *shardFile) (fileInfo, []byte, []byte, error) {
 		os.Remove(s.path)
 		return fileInfo{}, nil, nil, fmt.Errorf("index: finish %s: %w", s.path, err)
 	}
-	return fileInfo{File: filepath.Base(s.path), Bytes: size, Records: s.rw.Records()},
+	return fileInfo{File: s.rel, Bytes: size, Records: s.rw.Records()},
 		s.first, s.last, nil
 }
 
@@ -261,10 +319,22 @@ func (w *Writer) Commit() error {
 	}
 	data = append(data, '\n')
 	// The checksum lands before the manifest rename: a crash in between
-	// leaves no MANIFEST.json, so the directory is never mistaken for a
-	// complete index, and a manifest without its checksum fails Open.
+	// leaves no MANIFEST.json (fresh build) or the old index's manifest
+	// (replacement), so the directory is never mistaken for a complete
+	// new index, and a manifest without its checksum fails Open. When
+	// replacing, the old manifest's CRC line is kept alongside the new
+	// one through the swap — whichever manifest a crash leaves behind,
+	// the directory stays openable — and the file is shrunk back to one
+	// line once the new manifest is in place.
+	crcPath := filepath.Join(w.dir, ManifestCRCFile)
 	crcLine := fmt.Sprintf("%08x\n", crc32.Checksum(data, crcTable))
-	if err := os.WriteFile(filepath.Join(w.dir, ManifestCRCFile), []byte(crcLine), 0o666); err != nil {
+	crcData := []byte(crcLine)
+	if w.sub != "" {
+		if old, err := os.ReadFile(crcPath); err == nil {
+			crcData = append(old, crcLine...)
+		}
+	}
+	if err := writeFileAtomic(crcPath, crcData); err != nil {
 		w.Abort()
 		return fmt.Errorf("index: write manifest checksum: %w", err)
 	}
@@ -278,12 +348,67 @@ func (w *Writer) Commit() error {
 		w.Abort()
 		return fmt.Errorf("index: commit manifest: %w", err)
 	}
+	w.committed = true
+	if w.sub != "" {
+		// Post-swap, best-effort: retire the transitional CRC line and
+		// unlink the replaced generation's files (open readers keep
+		// serving them through their file descriptors).
+		writeFileAtomic(crcPath, []byte(crcLine))
+		w.cleanupStale()
+	}
 	return nil
 }
 
+// writeFileAtomic writes data under path via a temp file and rename, so
+// concurrent readers see either the old or the new content, never a
+// partial write.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o666); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// cleanupStale removes the replaced generation's files that the new
+// manifest does not reference, then any generation directories left
+// empty. Best-effort: leftovers are harmless (the manifest is the sole
+// source of truth) and a future replacement sweeps them again.
+func (w *Writer) cleanupStale() {
+	live := map[string]bool{w.man.Dict.File: true}
+	for _, s := range w.man.Shards {
+		live[s.File] = true
+	}
+	if w.man.Top != nil {
+		live[w.man.Top.File] = true
+	}
+	dirs := map[string]bool{}
+	for _, f := range w.stale {
+		if live[f] {
+			continue
+		}
+		os.Remove(filepath.Join(w.dir, f))
+		if d := filepath.Dir(f); d != "." {
+			dirs[d] = true
+		}
+	}
+	for d := range dirs {
+		os.Remove(filepath.Join(w.dir, d)) // fails while non-empty; fine
+	}
+}
+
 // Abort removes every file the writer has produced so far. It is safe
-// to call after a failed Commit; a committed index is not removed.
+// to call after a failed Commit; a committed index is not removed, and
+// when the writer was replacing an existing index the old index is
+// left exactly as it was.
 func (w *Writer) Abort() {
+	if w.committed {
+		return
+	}
 	if w.cur != nil {
 		w.cur.f.Close()
 		os.Remove(w.cur.path)
@@ -294,15 +419,21 @@ func (w *Writer) Abort() {
 		os.Remove(w.top.path)
 		w.top = nil
 	}
+	if w.sub != "" {
+		// Everything staged lives in the generation subdirectory; the
+		// old index's files were never touched.
+		os.RemoveAll(filepath.Join(w.dir, w.sub))
+		return
+	}
 	if _, err := os.Stat(filepath.Join(w.dir, ManifestFile)); err == nil {
-		return // committed; leave the index intact
+		return // committed by an earlier writer; leave the index intact
 	}
 	for _, s := range w.man.Shards {
 		os.Remove(filepath.Join(w.dir, s.File))
 	}
-	if w.haveDict {
-		os.Remove(filepath.Join(w.dir, DictionaryFile))
-	}
+	os.Remove(filepath.Join(w.dir, DictionaryFile))
 	os.Remove(filepath.Join(w.dir, TopFile))
+	os.Remove(filepath.Join(w.dir, ManifestFile+".tmp"))
 	os.Remove(filepath.Join(w.dir, ManifestCRCFile))
+	os.Remove(filepath.Join(w.dir, ManifestCRCFile+".tmp"))
 }

@@ -109,6 +109,57 @@ func (m *Model) Count(s sequence.Seq) int64 {
 	return m.counts[string(encoding.EncodeSeq(s))]
 }
 
+// Total returns the summed collection frequency of all unigrams — the
+// denominator of the model's base distribution, and the anchor of the
+// unseen-word floor score 0.5/(Total+1).
+func (m *Model) Total() int64 { return m.total }
+
+// Prediction is one candidate next term with its stupid-backoff score.
+type Prediction struct {
+	Term  sequence.Term
+	Count int64
+	Score float64
+}
+
+// Predict returns the k most likely next terms after context: the
+// observed continuations of the longest context suffix that has any,
+// best first. Every candidate's score backs off to exactly that suffix
+// (longer suffixes have no continuations at all), so the count order of
+// the successor list is the score order and selection is O(k) after
+// the suffix walk. Ties break toward the smaller (more frequent) term
+// identifier. Requires Finish.
+func (m *Model) Predict(context sequence.Seq, k int) []Prediction {
+	if k <= 0 {
+		return nil
+	}
+	if len(context) > m.order-1 {
+		context = context[len(context)-(m.order-1):]
+	}
+	var succ []successor
+	for {
+		succ = m.successors[string(encoding.EncodeSeq(context))]
+		if len(succ) > 0 || len(context) == 0 {
+			break
+		}
+		context = context[1:]
+	}
+	if len(succ) == 0 {
+		return nil
+	}
+	if k > len(succ) {
+		k = len(succ)
+	}
+	out := make([]Prediction, k)
+	for i := 0; i < k; i++ {
+		out[i] = Prediction{
+			Term:  succ[i].term,
+			Count: succ[i].count,
+			Score: m.Score(context, succ[i].term),
+		}
+	}
+	return out
+}
+
 // Score returns the stupid-backoff score S(w | context): the relative
 // frequency of the longest matching n-gram ending in w, scaled by α per
 // backoff step. Scores are not normalized probabilities but behave like

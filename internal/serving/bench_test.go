@@ -1,0 +1,76 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchServer builds one served index and a set of query phrases.
+func benchServer(b *testing.B) (*httptest.Server, []string) {
+	b.Helper()
+	res, dir := buildServedIndex(b)
+	_, ts := newTestServer(b, dir, nil)
+	top, err := res.TopK(64)
+	if err != nil || len(top) == 0 {
+		b.Fatalf("TopK: %v", err)
+	}
+	phrases := make([]string, len(top))
+	for i, ng := range top {
+		phrases[i] = ng.Text
+	}
+	return ts, phrases
+}
+
+// BenchmarkServingLookupGET measures the per-key cost of one lookup
+// per HTTP round trip — the baseline POST /v1/query is judged against.
+func BenchmarkServingLookupGET(b *testing.B) {
+	ts, phrases := benchServer(b)
+	client := ts.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(ts.URL + "/v1/lookup?q=" + urlQuery(phrases[i%len(phrases)]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/key")
+}
+
+// BenchmarkServingBatch64 measures the per-key cost of 64 lookups per
+// POST /v1/query round trip: HTTP and JSON overheads amortize across
+// the batch, so ns/key should land well below the single-GET baseline.
+func BenchmarkServingBatch64(b *testing.B) {
+	const batch = 64
+	ts, phrases := benchServer(b)
+	client := ts.Client()
+	ops := make([]BatchOp, batch)
+	for i := range ops {
+		ops[i] = BatchOp{Op: "lookup", Q: phrases[i%len(phrases)]}
+	}
+	body, err := json.Marshal(BatchRequest{Ops: ops})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/key")
+}

@@ -1,23 +1,46 @@
 // Package serving implements the HTTP query surface of the n-gram
-// index daemon (cmd/ngramsd): point lookup, prefix scan, and top-k
-// over one or more persistent indexes opened with ngramstats.OpenIndex,
-// plus health and metrics endpoints.
+// index daemon (cmd/ngramsd): a versioned /v1 API over one or more
+// persistent index directories, with zero-downtime index reloads,
+// batched queries, per-endpoint load shedding, and a language-model
+// front end.
 //
-// The handler is purely read-only and safe for any number of
-// concurrent requests: every query method of ngramstats.Index is
-// lock-free on the serving path (the decoded-block cache's internal
-// mutex is the only synchronization point), and the handler's own
-// bookkeeping is atomic counters.
+// # Versioned API
 //
-// Endpoints:
+//	GET  /v1/lookup?q=phrase[&index=name]        one phrase's statistics
+//	GET  /v1/prefix?q=phrase[&limit=n][&index=]  phrases extending q
+//	GET  /v1/topk?k=n[&index=name]               most frequent n-grams
+//	POST /v1/query                               batch of ops, one round trip
+//	GET  /v1/lm/score?q=phrase[&index=name]      Katz log-probability
+//	GET  /v1/lm/predict?q=context[&k=n][&index=] next-word candidates
+//	POST /v1/admin/reload[?index=name]           swap to the on-disk index
+//	GET  /v1/healthz (alias /healthz)            liveness + generations
+//	GET  /metrics                                Prometheus-style text
 //
-//	GET /lookup?q=phrase[&index=name]        one phrase's statistics
-//	GET /prefix?q=phrase[&limit=n][&index=]  phrases extending q
-//	GET /topk?k=n[&index=name]               most frequent n-grams
-//	GET /healthz                             liveness + index inventory
-//	GET /metrics                             Prometheus-style text
+// Every /v1 response decodes into a typed struct from wire.go and
+// carries the index generation it was answered from. The pre-/v1
+// endpoints (/lookup, /prefix, /topk) remain as byte-compatible
+// aliases that emit a "Deprecation: true" header and count into
+// ngramsd_legacy_requests_total.
 //
-// The index parameter is optional while exactly one index is served.
+// # Generations and hot swap
+//
+// Each served index is a sequence of generations. A generation is an
+// open ngramstats.Index (plus its derived language model, if enabled);
+// the active one is published through an atomic pointer, and every
+// request pins its generation with a reference count for the duration
+// of the request. Reload — triggered by POST /v1/admin/reload or the
+// manifest Watch loop — opens the index directory anew, swaps the
+// pointer, and drops the retiring generation's base reference: its
+// files close when the last in-flight request drains. Requests never
+// observe a half-swapped index and never fail because of a swap.
+//
+// # Load shedding
+//
+// Query endpoints admit at most MaxInflight concurrent requests each;
+// up to MaxQueue more wait up to QueueTimeout for a slot. Beyond that
+// the request is shed with 429 and a Retry-After header — the server
+// degrades by refusing excess work early instead of queueing without
+// bound. /healthz, /metrics, and the admin endpoints are never shed.
 package serving
 
 import (
@@ -26,26 +49,221 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"ngramstats"
+	"ngramstats/internal/index"
 )
 
-// Server serves one or more named indexes. Create with New; it
-// implements http.Handler.
-type Server struct {
-	indexes map[string]*ngramstats.Index
-	names   []string // sorted
-	start   time.Time
-	mux     *http.ServeMux
+// Defaults for the corresponding ServerOptions fields.
+const (
+	DefaultMaxInflight  = 64
+	DefaultQueueTimeout = 100 * time.Millisecond
+	DefaultRetryAfter   = time.Second
+	DefaultMaxLimit     = 1000
+	DefaultMaxK         = 1000
+	DefaultMaxBatch     = 256
 
-	lookup  endpointMetrics
-	prefix  endpointMetrics
-	topk    endpointMetrics
-	healthz endpointMetrics
+	defaultPrefixLimit = 100
+	defaultTopK        = 10
+	defaultPredictK    = 5
+)
+
+// IndexConfig locates one served index.
+type IndexConfig struct {
+	// Dir is the index directory (Result.Save).
+	Dir string
+	// CacheBlocks bounds the decoded-block cache of each generation
+	// opened from Dir (ngramstats.IndexOptions.CacheBlocks).
+	CacheBlocks int
+}
+
+// ServerOptions configures NewServer. Zero fields select the defaults
+// noted; Indexes is required.
+type ServerOptions struct {
+	// Indexes maps the served index names to their directories. The map
+	// is read once by NewServer.
+	Indexes map[string]IndexConfig
+
+	// MaxInflight caps concurrently executing requests per query
+	// endpoint (default DefaultMaxInflight).
+	MaxInflight int
+	// MaxQueue caps requests waiting for an execution slot per query
+	// endpoint (default 2×MaxInflight; negative disables waiting).
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits for a slot
+	// before being shed (default DefaultQueueTimeout).
+	QueueTimeout time.Duration
+	// RetryAfter is the Retry-After hint sent with 429 responses
+	// (default DefaultRetryAfter).
+	RetryAfter time.Duration
+
+	// MaxLimit caps the prefix-scan limit parameter (default
+	// DefaultMaxLimit). Requests beyond it get 400, not a clamp.
+	MaxLimit int
+	// MaxK caps the k parameter of topk and lm/predict (default
+	// DefaultMaxK). Requests beyond it get 400, not a clamp.
+	MaxK int
+	// MaxBatch caps the operations per POST /v1/query request (default
+	// DefaultMaxBatch).
+	MaxBatch int
+
+	// LMOrder, if positive, trains an order-LMOrder language model from
+	// every generation as it opens and enables the /v1/lm endpoints.
+	// Zero leaves them returning 501.
+	LMOrder int
+
+	// Logf, if non-nil, receives operational log lines (reloads, watch
+	// errors).
+	Logf func(format string, args ...any)
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = DefaultMaxInflight
+	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 2 * o.MaxInflight
+	}
+	if o.MaxQueue < 0 {
+		o.MaxQueue = 0
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = DefaultQueueTimeout
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = DefaultRetryAfter
+	}
+	if o.MaxLimit <= 0 {
+		o.MaxLimit = DefaultMaxLimit
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = DefaultMaxK
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	return o
+}
+
+// generation is one open instance of a served index. Its lifetime is
+// reference-counted: it starts with one base reference (held by the
+// handle publishing it), every request that queries it holds one more
+// for the request's duration, and the underlying files close when the
+// count reaches zero — after the handle retires it AND the last
+// in-flight request drains.
+type generation struct {
+	ix  *ngramstats.Index
+	lm  *ngramstats.LanguageModel // nil unless ServerOptions.LMOrder > 0
+	num int64                     // 1, 2, ... per index
+
+	refs atomic.Int64
+}
+
+// tryAcquire takes a reference unless the generation is already
+// retired and drained.
+func (g *generation) tryAcquire() bool {
+	for {
+		r := g.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if g.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+func (g *generation) release() {
+	if g.refs.Add(-1) == 0 {
+		g.ix.Close()
+	}
+}
+
+// handle is the mutable slot of one served index: the active
+// generation, swapped atomically by Reload.
+type handle struct {
+	name string
+	cfg  IndexConfig
+
+	mu    sync.Mutex // serializes Reload
+	gen   atomic.Pointer[generation]
+	swaps atomic.Int64
+}
+
+// acquire pins the active generation, or returns nil after Close.
+func (h *handle) acquire() *generation {
+	for {
+		g := h.gen.Load()
+		if g == nil {
+			return nil
+		}
+		if g.tryAcquire() {
+			return g
+		}
+		// The generation retired between Load and tryAcquire; the
+		// pointer already holds (or is about to hold) its successor.
+	}
+}
+
+// gate is one endpoint's admission control: a semaphore of MaxInflight
+// slots with a bounded, timeout-limited wait queue.
+type gate struct {
+	sem      chan struct{}
+	maxQueue int64
+	timeout  time.Duration
+
+	waiting  atomic.Int64
+	inflight atomic.Int64
+	shed     atomic.Int64
+}
+
+func newGate(maxInflight, maxQueue int, timeout time.Duration) *gate {
+	return &gate{
+		sem:      make(chan struct{}, maxInflight),
+		maxQueue: int64(maxQueue),
+		timeout:  timeout,
+	}
+}
+
+// enter admits the request, waiting up to the queue timeout if the
+// endpoint is saturated. It reports false — and counts a shed — when
+// the queue is full or the wait times out.
+func (g *gate) enter() bool {
+	select {
+	case g.sem <- struct{}{}:
+		g.inflight.Add(1)
+		return true
+	default:
+	}
+	if g.waiting.Add(1) > g.maxQueue {
+		g.waiting.Add(-1)
+		g.shed.Add(1)
+		return false
+	}
+	defer g.waiting.Add(-1)
+	t := time.NewTimer(g.timeout)
+	defer t.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		g.inflight.Add(1)
+		return true
+	case <-t.C:
+		g.shed.Add(1)
+		return false
+	}
+}
+
+func (g *gate) exit() {
+	g.inflight.Add(-1)
+	<-g.sem
 }
 
 // latencyBuckets are the upper bounds of the fixed latency histogram.
@@ -66,9 +284,9 @@ type endpointMetrics struct {
 	buckets   [5]atomic.Int64 // cumulative counts per latencyBucket, +Inf last
 }
 
-func (m *endpointMetrics) record(d time.Duration, status int) {
+func (m *endpointMetrics) record(d time.Duration, status int, encodeFailed bool) {
 	m.requests.Add(1)
-	if status >= 400 {
+	if status >= 400 || encodeFailed {
 		m.errors.Add(1)
 	}
 	us := d.Microseconds()
@@ -89,20 +307,242 @@ func (m *endpointMetrics) record(d time.Duration, status int) {
 	m.buckets[b].Add(1)
 }
 
-// New returns a server over the given named indexes. The map is used
-// directly and must not be mutated afterwards.
-func New(indexes map[string]*ngramstats.Index) *Server {
-	s := &Server{indexes: indexes, start: time.Now(), mux: http.NewServeMux()}
-	for name := range indexes {
+// endpoint is one logical endpoint's shared state. A legacy alias and
+// its /v1 successor share one endpoint: one gate, one metrics row.
+type endpoint struct {
+	name    string // metrics label; /v1/<name> is the canonical path
+	metrics endpointMetrics
+	gate    *gate        // nil: never shed (healthz, metrics, admin)
+	legacy  atomic.Int64 // requests via the deprecated unversioned path
+}
+
+// testHookQueryStart, when non-nil, runs at the start of every gated
+// request while its gate slot is held — the test seam for saturating a
+// concurrency gate.
+var testHookQueryStart func()
+
+// Server serves one or more named indexes. Create with NewServer; it
+// implements http.Handler.
+type Server struct {
+	opts       ServerOptions
+	handles    map[string]*handle
+	names      []string // sorted
+	start      time.Time
+	mux        *http.ServeMux
+	retryAfter string // precomputed Retry-After header value, seconds
+
+	// eps lists every endpoint in metrics-rendering order; the named
+	// fields alias into it.
+	eps       []*endpoint
+	epLookup  *endpoint
+	epPrefix  *endpoint
+	epTopK    *endpoint
+	epQuery   *endpoint
+	epScore   *endpoint
+	epPredict *endpoint
+	epHealthz *endpoint
+	epMetrics *endpoint
+	epReload  *endpoint
+}
+
+// NewServer opens every configured index at its current generation and
+// returns the serving handler. On error, indexes opened so far are
+// closed.
+func NewServer(opts ServerOptions) (*Server, error) {
+	opts = opts.withDefaults()
+	if len(opts.Indexes) == 0 {
+		return nil, fmt.Errorf("serving: no indexes configured")
+	}
+	retry := int64((opts.RetryAfter + time.Second - 1) / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	s := &Server{
+		opts:       opts,
+		handles:    make(map[string]*handle, len(opts.Indexes)),
+		start:      time.Now(),
+		mux:        http.NewServeMux(),
+		retryAfter: strconv.FormatInt(retry, 10),
+	}
+	for name := range opts.Indexes {
 		s.names = append(s.names, name)
 	}
 	sort.Strings(s.names)
-	s.mux.HandleFunc("/lookup", s.instrument(&s.lookup, s.handleLookup))
-	s.mux.HandleFunc("/prefix", s.instrument(&s.prefix, s.handlePrefix))
-	s.mux.HandleFunc("/topk", s.instrument(&s.topk, s.handleTopK))
-	s.mux.HandleFunc("/healthz", s.instrument(&s.healthz, s.handleHealthz))
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	return s
+	for _, name := range s.names {
+		h := &handle{name: name, cfg: opts.Indexes[name]}
+		g, err := s.openGeneration(h.cfg, 1)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("serving: open index %q: %w", name, err)
+		}
+		h.gen.Store(g)
+		s.handles[name] = h
+	}
+
+	gated := func(name string) *endpoint {
+		return &endpoint{
+			name: name,
+			gate: newGate(opts.MaxInflight, opts.MaxQueue, opts.QueueTimeout),
+		}
+	}
+	s.epLookup = gated("lookup")
+	s.epPrefix = gated("prefix")
+	s.epTopK = gated("topk")
+	s.epQuery = gated("query")
+	s.epScore = gated("lm_score")
+	s.epPredict = gated("lm_predict")
+	s.epHealthz = &endpoint{name: "healthz"}
+	s.epMetrics = &endpoint{name: "metrics"}
+	s.epReload = &endpoint{name: "reload"}
+	s.eps = []*endpoint{
+		s.epLookup, s.epPrefix, s.epTopK, s.epQuery,
+		s.epScore, s.epPredict, s.epHealthz, s.epMetrics, s.epReload,
+	}
+
+	s.mux.HandleFunc("GET /v1/lookup", s.handler(s.epLookup, false, s.handleLookupV1))
+	s.mux.HandleFunc("GET /v1/prefix", s.handler(s.epPrefix, false, s.handlePrefixV1))
+	s.mux.HandleFunc("GET /v1/topk", s.handler(s.epTopK, false, s.handleTopKV1))
+	s.mux.HandleFunc("POST /v1/query", s.handler(s.epQuery, false, s.handleBatch))
+	s.mux.HandleFunc("GET /v1/lm/score", s.handler(s.epScore, false, s.handleLMScore))
+	s.mux.HandleFunc("GET /v1/lm/predict", s.handler(s.epPredict, false, s.handleLMPredict))
+	s.mux.HandleFunc("POST /v1/admin/reload", s.handler(s.epReload, false, s.handleReload))
+	s.mux.HandleFunc("GET /v1/healthz", s.handler(s.epHealthz, false, s.handleHealthz))
+	s.mux.HandleFunc("/lookup", s.handler(s.epLookup, true, s.handleLookupLegacy))
+	s.mux.HandleFunc("/prefix", s.handler(s.epPrefix, true, s.handlePrefixLegacy))
+	s.mux.HandleFunc("/topk", s.handler(s.epTopK, true, s.handleTopKLegacy))
+	s.mux.HandleFunc("/healthz", s.handler(s.epHealthz, false, s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.handler(s.epMetrics, false, s.handleMetrics))
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Server) openGeneration(cfg IndexConfig, num int64) (*generation, error) {
+	ix, err := ngramstats.OpenIndexWith(cfg.Dir, ngramstats.IndexOptions{CacheBlocks: cfg.CacheBlocks})
+	if err != nil {
+		return nil, err
+	}
+	g := &generation{ix: ix, num: num}
+	g.refs.Store(1)
+	if s.opts.LMOrder > 0 {
+		m, err := ngramstats.NewLanguageModelFromIndex(ix, s.opts.LMOrder)
+		if err != nil {
+			ix.Close()
+			return nil, err
+		}
+		g.lm = m
+	}
+	return g, nil
+}
+
+// Reload opens the index directory anew and atomically swaps the fresh
+// generation in. In-flight requests finish on the generation they
+// started on; its files close when the last of them drains. Returns
+// the new generation number.
+func (s *Server) Reload(name string) (int64, error) {
+	h, ok := s.handles[name]
+	if !ok {
+		return 0, fmt.Errorf("serving: unknown index %q", name)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := h.gen.Load()
+	if old == nil {
+		return 0, fmt.Errorf("serving: server closed")
+	}
+	g, err := s.openGeneration(h.cfg, old.num+1)
+	if err != nil {
+		return 0, fmt.Errorf("serving: reload %q: %w", name, err)
+	}
+	h.gen.Store(g)
+	h.swaps.Add(1)
+	old.release()
+	s.logf("serving: index %q swapped to generation %d (manifest %s)",
+		name, g.num, g.ix.ManifestTime().UTC().Format(time.RFC3339))
+	return g.num, nil
+}
+
+// ReloadAll reloads every served index, returning the new generation
+// numbers and the first error (the rest are still attempted).
+func (s *Server) ReloadAll() (map[string]int64, error) {
+	out := make(map[string]int64, len(s.names))
+	var firstErr error
+	for _, name := range s.names {
+		gen, err := s.Reload(name)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out[name] = gen
+	}
+	return out, firstErr
+}
+
+// Watch polls every index's on-disk manifest at the given interval
+// (default 1s) and reloads when its modification time departs from the
+// active generation's — the push-free path to zero-downtime serving:
+// rewrite the directory with SaveOptions.Replace and the daemon picks
+// it up. Transient stat or open errors (a replacement mid-commit) are
+// retried next tick. Watch blocks until ctx is done; run it in its own
+// goroutine.
+func (s *Server) Watch(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, name := range s.names {
+			s.checkReload(s.handles[name])
+		}
+	}
+}
+
+func (s *Server) checkReload(h *handle) {
+	g := h.gen.Load()
+	if g == nil {
+		return
+	}
+	st, err := os.Stat(filepath.Join(h.cfg.Dir, index.ManifestFile))
+	if err != nil {
+		return // mid-replacement or transient; retry next tick
+	}
+	if st.ModTime().Equal(g.ix.ManifestTime()) {
+		return
+	}
+	if _, err := s.Reload(h.name); err != nil {
+		s.logf("serving: watch reload %q: %v", h.name, err)
+	}
+}
+
+// Close retires every index's active generation; their files close as
+// in-flight requests drain. Requests arriving after Close get 503.
+// Close is idempotent.
+func (s *Server) Close() error {
+	for _, name := range s.names {
+		h := s.handles[name]
+		if h == nil {
+			continue
+		}
+		h.mu.Lock()
+		g := h.gen.Swap(nil)
+		h.mu.Unlock()
+		if g != nil {
+			g.release()
+		}
+	}
+	return nil
 }
 
 // Names returns the served index names, sorted.
@@ -111,10 +551,12 @@ func (s *Server) Names() []string { return append([]string(nil), s.names...) }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// statusWriter captures the status code a handler wrote.
+// statusWriter captures the status code a handler wrote, and any
+// response-encoding failure writeJSON hit after the header went out.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status    int
+	encodeErr error
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -122,49 +564,58 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-func (s *Server) instrument(m *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+// handler wraps an endpoint handler with instrumentation, deprecation
+// headers for legacy aliases, and — for gated endpoints — admission
+// control.
+func (s *Server) handler(ep *endpoint, legacy bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if legacy {
+			ep.legacy.Add(1)
+			sw.Header().Set("Deprecation", "true")
+			sw.Header().Set("Link", fmt.Sprintf("</v1/%s>; rel=%q", ep.name, "successor-version"))
+		}
+		if ep.gate != nil {
+			if !ep.gate.enter() {
+				sw.Header().Set("Retry-After", s.retryAfter)
+				writeError(sw, http.StatusTooManyRequests,
+					"%s: saturated (inflight limit %d, queue %d), request shed",
+					ep.name, s.opts.MaxInflight, s.opts.MaxQueue)
+				ep.metrics.record(time.Since(t0), sw.status, sw.encodeErr != nil)
+				return
+			}
+			defer ep.gate.exit()
+			if hook := testHookQueryStart; hook != nil {
+				hook()
+			}
+		}
 		h(sw, r)
-		m.record(time.Since(t0), sw.status)
-	}
-}
-
-// wireNGram is the JSON shape of one n-gram.
-type wireNGram struct {
-	Text      string          `json:"text"`
-	IDs       []uint32        `json:"ids,omitempty"`
-	Frequency int64           `json:"frequency"`
-	Years     map[int]int64   `json:"years,omitempty"`
-	Documents map[int64]int64 `json:"documents,omitempty"`
-}
-
-func toWire(ng ngramstats.NGram) wireNGram {
-	return wireNGram{
-		Text:      ng.Text,
-		IDs:       ng.IDs,
-		Frequency: ng.Frequency,
-		Years:     ng.Years,
-		Documents: ng.Documents,
+		ep.metrics.record(time.Since(t0), sw.status, sw.encodeErr != nil)
 	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The header is already out; all we can do is count it. The
+		// instrumentation wrapper reads encodeErr into the endpoint's
+		// error counter.
+		if sw, ok := w.(*statusWriter); ok {
+			sw.encodeErr = err
+		}
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// resolve picks the index a request addresses: the explicit index
-// parameter, or the only served index when the parameter is absent.
-func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*ngramstats.Index, string, bool) {
-	name := r.URL.Query().Get("index")
+// resolveName pins the generation of the named index — or of the only
+// served index when name is empty. The caller must release the
+// returned generation.
+func (s *Server) resolveName(w http.ResponseWriter, name string) (*generation, string, bool) {
 	if name == "" {
 		if len(s.names) == 1 {
 			name = s.names[0]
@@ -174,25 +625,299 @@ func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*ngramstats.In
 			return nil, "", false
 		}
 	}
-	ix, ok := s.indexes[name]
+	h, ok := s.handles[name]
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown index %q (serving %v)", name, s.names)
 		return nil, "", false
 	}
-	return ix, name, true
+	g := h.acquire()
+	if g == nil {
+		writeError(w, http.StatusServiceUnavailable, "index %q is shut down", name)
+		return nil, "", false
+	}
+	return g, name, true
 }
 
-func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
-	ix, name, ok := s.resolve(w, r)
-	if !ok {
-		return
+func (s *Server) resolve(w http.ResponseWriter, r *http.Request) (*generation, string, bool) {
+	return s.resolveName(w, r.URL.Query().Get("index"))
+}
+
+// parseLimit validates the prefix-scan limit parameter: absent selects
+// the default, explicit values must be 1..MaxLimit.
+func (s *Server) parseLimit(w http.ResponseWriter, r *http.Request) (int, bool) {
+	ls := r.URL.Query().Get("limit")
+	if ls == "" {
+		return defaultPrefixLimit, true
 	}
+	v, err := strconv.Atoi(ls)
+	if err != nil || v < 1 || v > s.opts.MaxLimit {
+		writeError(w, http.StatusBadRequest, "bad limit %q (want 1..%d)", ls, s.opts.MaxLimit)
+		return 0, false
+	}
+	return v, true
+}
+
+// parseK validates a k parameter: absent selects def, explicit values
+// must be minimum..MaxK (minimum 0 keeps the legacy k=0 empty-answer
+// behavior).
+func (s *Server) parseK(w http.ResponseWriter, r *http.Request, def, minimum int) (int, bool) {
+	ks := r.URL.Query().Get("k")
+	if ks == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(ks)
+	if err != nil || v < minimum || v > s.opts.MaxK {
+		writeError(w, http.StatusBadRequest, "bad k %q (want %d..%d)", ks, minimum, s.opts.MaxK)
+		return 0, false
+	}
+	return v, true
+}
+
+func requireQ(w http.ResponseWriter, r *http.Request) (string, bool) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return "", false
+	}
+	return q, true
+}
+
+// ---- /v1 query handlers ----
+
+func (s *Server) handleLookupV1(w http.ResponseWriter, r *http.Request) {
+	g, name, ok := s.resolve(w, r)
+	if !ok {
 		return
 	}
-	ng, found, err := ix.Lookup(q)
+	defer g.release()
+	q, ok := requireQ(w, r)
+	if !ok {
+		return
+	}
+	ng, found, err := g.ix.Lookup(q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "lookup: %v", err)
+		return
+	}
+	resp := LookupResponse{Index: name, Generation: g.num, Query: q, Found: found}
+	if found {
+		wng := toWire(ng)
+		resp.NGram = &wng
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePrefixV1(w http.ResponseWriter, r *http.Request) {
+	g, name, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	defer g.release()
+	q, ok := requireQ(w, r)
+	if !ok {
+		return
+	}
+	limit, ok := s.parseLimit(w, r)
+	if !ok {
+		return
+	}
+	ngs, err := g.ix.Prefix(q, limit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "prefix: %v", err)
+		return
+	}
+	out := make([]WireNGram, len(ngs))
+	for i, ng := range ngs {
+		out[i] = toWire(ng)
+	}
+	writeJSON(w, http.StatusOK, PrefixResponse{
+		Index: name, Generation: g.num, Query: q, Count: len(out), NGrams: out,
+	})
+}
+
+func (s *Server) handleTopKV1(w http.ResponseWriter, r *http.Request) {
+	g, name, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	defer g.release()
+	k, ok := s.parseK(w, r, defaultTopK, 1)
+	if !ok {
+		return
+	}
+	ngs, err := g.ix.TopK(k)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "topk: %v", err)
+		return
+	}
+	out := make([]WireNGram, len(ngs))
+	for i, ng := range ngs {
+		out[i] = toWire(ng)
+	}
+	writeJSON(w, http.StatusOK, TopKResponse{
+		Index: name, Generation: g.num, K: k, NGrams: out,
+	})
+}
+
+// handleBatch answers POST /v1/query: a JSON batch of lookup/prefix/
+// topk operations, all served from one pinned index generation.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	body := http.MaxBytesReader(w, r.Body, 4<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch request: %v", err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Ops) > s.opts.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			"batch of %d ops exceeds limit %d", len(req.Ops), s.opts.MaxBatch)
+		return
+	}
+	g, name, ok := s.resolveName(w, req.Index)
+	if !ok {
+		return
+	}
+	defer g.release()
+	results := make([]BatchResult, len(req.Ops))
+	for i, op := range req.Ops {
+		results[i] = s.runOp(g, op)
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Index: name, Generation: g.num, Results: results})
+}
+
+func (s *Server) runOp(g *generation, op BatchOp) BatchResult {
+	res := BatchResult{Op: op.Op}
+	fail := func(format string, args ...any) BatchResult {
+		res.Error = fmt.Sprintf(format, args...)
+		return res
+	}
+	switch op.Op {
+	case "lookup":
+		if op.Q == "" {
+			return fail("lookup: missing q")
+		}
+		ng, found, err := g.ix.Lookup(op.Q)
+		if err != nil {
+			return fail("lookup: %v", err)
+		}
+		res.Found = found
+		if found {
+			wng := toWire(ng)
+			res.NGram = &wng
+		}
+	case "prefix":
+		if op.Q == "" {
+			return fail("prefix: missing q")
+		}
+		limit := op.Limit
+		if limit == 0 {
+			limit = defaultPrefixLimit
+		}
+		if limit < 1 || limit > s.opts.MaxLimit {
+			return fail("prefix: bad limit %d (want 1..%d)", op.Limit, s.opts.MaxLimit)
+		}
+		ngs, err := g.ix.Prefix(op.Q, limit)
+		if err != nil {
+			return fail("prefix: %v", err)
+		}
+		res.Count = len(ngs)
+		res.NGrams = make([]WireNGram, len(ngs))
+		for i, ng := range ngs {
+			res.NGrams[i] = toWire(ng)
+		}
+	case "topk":
+		k := op.K
+		if k == 0 {
+			k = defaultTopK
+		}
+		if k < 1 || k > s.opts.MaxK {
+			return fail("topk: bad k %d (want 1..%d)", op.K, s.opts.MaxK)
+		}
+		ngs, err := g.ix.TopK(k)
+		if err != nil {
+			return fail("topk: %v", err)
+		}
+		res.NGrams = make([]WireNGram, len(ngs))
+		for i, ng := range ngs {
+			res.NGrams[i] = toWire(ng)
+		}
+	default:
+		return fail("unknown op %q (want lookup, prefix, or topk)", op.Op)
+	}
+	return res
+}
+
+// ---- /v1/lm handlers ----
+
+func (s *Server) lmFor(w http.ResponseWriter, r *http.Request) (*generation, string, bool) {
+	g, name, ok := s.resolve(w, r)
+	if !ok {
+		return nil, "", false
+	}
+	if g.lm == nil {
+		g.release()
+		writeError(w, http.StatusNotImplemented,
+			"language model not enabled for index %q (start ngramsd with -lm)", name)
+		return nil, "", false
+	}
+	return g, name, true
+}
+
+func (s *Server) handleLMScore(w http.ResponseWriter, r *http.Request) {
+	g, name, ok := s.lmFor(w, r)
+	if !ok {
+		return
+	}
+	defer g.release()
+	q, ok := requireQ(w, r)
+	if !ok {
+		return
+	}
+	words := strings.Fields(q)
+	writeJSON(w, http.StatusOK, LMScoreResponse{
+		Index: name, Generation: g.num, Query: q,
+		Words: len(words), LogProb: g.lm.LogProb(words),
+	})
+}
+
+func (s *Server) handleLMPredict(w http.ResponseWriter, r *http.Request) {
+	g, name, ok := s.lmFor(w, r)
+	if !ok {
+		return
+	}
+	defer g.release()
+	k, ok := s.parseK(w, r, defaultPredictK, 1)
+	if !ok {
+		return
+	}
+	q := r.URL.Query().Get("q") // optional: empty context predicts unigrams
+	ps := g.lm.Predict(strings.Fields(q), k)
+	out := make([]WirePrediction, len(ps))
+	for i, p := range ps {
+		out[i] = WirePrediction{Word: p.Word, Frequency: p.Frequency, Score: p.Score}
+	}
+	writeJSON(w, http.StatusOK, LMPredictResponse{
+		Index: name, Generation: g.num, Context: q, K: k, Predictions: out,
+	})
+}
+
+// ---- legacy aliases (frozen pre-/v1 wire shapes) ----
+
+func (s *Server) handleLookupLegacy(w http.ResponseWriter, r *http.Request) {
+	g, name, ok := s.resolve(w, r)
+	if !ok {
+		return
+	}
+	defer g.release()
+	q, ok := requireQ(w, r)
+	if !ok {
+		return
+	}
+	ng, found, err := g.ix.Lookup(q)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "lookup: %v", err)
 		return
@@ -204,31 +929,26 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
-	ix, name, ok := s.resolve(w, r)
+func (s *Server) handlePrefixLegacy(w http.ResponseWriter, r *http.Request) {
+	g, name, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
-	q := r.URL.Query().Get("q")
-	if q == "" {
-		writeError(w, http.StatusBadRequest, "missing q parameter")
+	defer g.release()
+	q, ok := requireQ(w, r)
+	if !ok {
 		return
 	}
-	limit := 100
-	if ls := r.URL.Query().Get("limit"); ls != "" {
-		v, err := strconv.Atoi(ls)
-		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, "bad limit %q", ls)
-			return
-		}
-		limit = v
+	limit, ok := s.parseLimit(w, r)
+	if !ok {
+		return
 	}
-	ngs, err := ix.Prefix(q, limit)
+	ngs, err := g.ix.Prefix(q, limit)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "prefix: %v", err)
 		return
 	}
-	out := make([]wireNGram, len(ngs))
+	out := make([]WireNGram, len(ngs))
 	for i, ng := range ngs {
 		out[i] = toWire(ng)
 	}
@@ -237,26 +957,22 @@ func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	ix, name, ok := s.resolve(w, r)
+func (s *Server) handleTopKLegacy(w http.ResponseWriter, r *http.Request) {
+	g, name, ok := s.resolve(w, r)
 	if !ok {
 		return
 	}
-	k := 10
-	if ks := r.URL.Query().Get("k"); ks != "" {
-		v, err := strconv.Atoi(ks)
-		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, "bad k %q", ks)
-			return
-		}
-		k = v
+	defer g.release()
+	k, ok := s.parseK(w, r, defaultTopK, 0)
+	if !ok {
+		return
 	}
-	ngs, err := ix.TopK(k)
+	ngs, err := g.ix.TopK(k)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "topk: %v", err)
 		return
 	}
-	out := make([]wireNGram, len(ngs))
+	out := make([]WireNGram, len(ngs))
 	for i, ng := range ngs {
 		out[i] = toWire(ng)
 	}
@@ -265,44 +981,95 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	inv := make(map[string]int64, len(s.indexes))
-	for name, ix := range s.indexes {
-		inv[name] = ix.Len()
+// ---- admin, health, metrics ----
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("index"); name != "" {
+		if _, ok := s.handles[name]; !ok {
+			writeError(w, http.StatusNotFound, "unknown index %q (serving %v)", name, s.names)
+			return
+		}
+		gen, err := s.Reload(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ReloadResponse{Reloaded: map[string]int64{name: gen}})
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"uptime":  time.Since(s.start).String(),
-		"indexes": inv,
+	out, err := s.ReloadAll()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Reloaded: out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	inv := make(map[string]IndexHealth, len(s.names))
+	for _, name := range s.names {
+		g := s.handles[name].acquire()
+		if g == nil {
+			status = "shutdown"
+			continue
+		}
+		inv[name] = IndexHealth{
+			Records:      g.ix.Len(),
+			Shards:       g.ix.Shards(),
+			Generation:   g.num,
+			ManifestTime: g.ix.ManifestTime().UTC().Format(time.RFC3339Nano),
+			Corpus:       g.ix.Corpus(),
+			LM:           g.lm != nil,
+		}
+		g.release()
+	}
+	code := http.StatusOK
+	if status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthResponse{
+		Status:  status,
+		Uptime:  time.Since(s.start).String(),
+		Indexes: inv,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "ngramsd_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
-	for _, e := range []struct {
-		name string
-		m    *endpointMetrics
-	}{
-		{"lookup", &s.lookup}, {"prefix", &s.prefix}, {"topk", &s.topk}, {"healthz", &s.healthz},
-	} {
-		fmt.Fprintf(w, "ngramsd_requests_total{endpoint=%q} %d\n", e.name, e.m.requests.Load())
-		fmt.Fprintf(w, "ngramsd_errors_total{endpoint=%q} %d\n", e.name, e.m.errors.Load())
-		fmt.Fprintf(w, "ngramsd_latency_micros_sum{endpoint=%q} %d\n", e.name, e.m.sumMicros.Load())
-		fmt.Fprintf(w, "ngramsd_latency_micros_max{endpoint=%q} %d\n", e.name, e.m.maxMicros.Load())
+	for _, ep := range s.eps {
+		fmt.Fprintf(w, "ngramsd_requests_total{endpoint=%q} %d\n", ep.name, ep.metrics.requests.Load())
+		fmt.Fprintf(w, "ngramsd_errors_total{endpoint=%q} %d\n", ep.name, ep.metrics.errors.Load())
+		fmt.Fprintf(w, "ngramsd_latency_micros_sum{endpoint=%q} %d\n", ep.name, ep.metrics.sumMicros.Load())
+		fmt.Fprintf(w, "ngramsd_latency_micros_max{endpoint=%q} %d\n", ep.name, ep.metrics.maxMicros.Load())
 		cum := int64(0)
-		for i := range e.m.buckets {
-			cum += e.m.buckets[i].Load()
-			fmt.Fprintf(w, "ngramsd_latency_bucket{endpoint=%q,le=%q} %d\n", e.name, bucketLabels[i], cum)
+		for i := range ep.metrics.buckets {
+			cum += ep.metrics.buckets[i].Load()
+			fmt.Fprintf(w, "ngramsd_latency_bucket{endpoint=%q,le=%q} %d\n", ep.name, bucketLabels[i], cum)
+		}
+		if ep.gate != nil {
+			fmt.Fprintf(w, "ngramsd_inflight{endpoint=%q} %d\n", ep.name, ep.gate.inflight.Load())
+			fmt.Fprintf(w, "ngramsd_shed_total{endpoint=%q} %d\n", ep.name, ep.gate.shed.Load())
 		}
 	}
+	for _, ep := range []*endpoint{s.epLookup, s.epPrefix, s.epTopK} {
+		fmt.Fprintf(w, "ngramsd_legacy_requests_total{endpoint=%q} %d\n", ep.name, ep.legacy.Load())
+	}
 	for _, name := range s.names {
-		ix := s.indexes[name]
-		hits, misses := ix.CacheStats()
-		fmt.Fprintf(w, "ngramsd_index_records{index=%q} %d\n", name, ix.Len())
-		fmt.Fprintf(w, "ngramsd_index_shards{index=%q} %d\n", name, ix.Shards())
+		h := s.handles[name]
+		fmt.Fprintf(w, "ngramsd_index_swaps_total{index=%q} %d\n", name, h.swaps.Load())
+		g := h.acquire()
+		if g == nil {
+			continue
+		}
+		hits, misses := g.ix.CacheStats()
+		fmt.Fprintf(w, "ngramsd_index_generation{index=%q} %d\n", name, g.num)
+		fmt.Fprintf(w, "ngramsd_index_records{index=%q} %d\n", name, g.ix.Len())
+		fmt.Fprintf(w, "ngramsd_index_shards{index=%q} %d\n", name, g.ix.Shards())
 		fmt.Fprintf(w, "ngramsd_block_cache_hits_total{index=%q} %d\n", name, hits)
 		fmt.Fprintf(w, "ngramsd_block_cache_misses_total{index=%q} %d\n", name, misses)
+		g.release()
 	}
 }
 

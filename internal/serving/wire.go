@@ -1,0 +1,150 @@
+package serving
+
+import "ngramstats"
+
+// This file is the versioned wire schema of the /v1 API: every /v1
+// response decodes into exactly one of these types, and the golden
+// wire tests round-trip each endpoint through them. The legacy
+// unversioned endpoints do NOT use these types — their map-based
+// encoding is frozen for byte-compatibility with PR 4-era clients.
+
+// WireNGram is the JSON shape of one n-gram, shared by the /v1 and
+// legacy endpoints.
+type WireNGram struct {
+	Text      string          `json:"text"`
+	IDs       []uint32        `json:"ids,omitempty"`
+	Frequency int64           `json:"frequency"`
+	Years     map[int]int64   `json:"years,omitempty"`
+	Documents map[int64]int64 `json:"documents,omitempty"`
+}
+
+func toWire(ng ngramstats.NGram) WireNGram {
+	return WireNGram{
+		Text:      ng.Text,
+		IDs:       ng.IDs,
+		Frequency: ng.Frequency,
+		Years:     ng.Years,
+		Documents: ng.Documents,
+	}
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// LookupResponse is the body of GET /v1/lookup.
+type LookupResponse struct {
+	Index      string     `json:"index"`
+	Generation int64      `json:"generation"`
+	Query      string     `json:"query"`
+	Found      bool       `json:"found"`
+	NGram      *WireNGram `json:"ngram,omitempty"`
+}
+
+// PrefixResponse is the body of GET /v1/prefix.
+type PrefixResponse struct {
+	Index      string      `json:"index"`
+	Generation int64       `json:"generation"`
+	Query      string      `json:"query"`
+	Count      int         `json:"count"`
+	NGrams     []WireNGram `json:"ngrams"`
+}
+
+// TopKResponse is the body of GET /v1/topk.
+type TopKResponse struct {
+	Index      string      `json:"index"`
+	Generation int64       `json:"generation"`
+	K          int         `json:"k"`
+	NGrams     []WireNGram `json:"ngrams"`
+}
+
+// BatchOp is one operation of a POST /v1/query batch.
+type BatchOp struct {
+	// Op is "lookup", "prefix", or "topk".
+	Op string `json:"op"`
+	// Q is the phrase (lookup, prefix).
+	Q string `json:"q,omitempty"`
+	// Limit bounds a prefix scan; 0 selects the server default.
+	Limit int `json:"limit,omitempty"`
+	// K bounds a topk selection; 0 selects the server default.
+	K int `json:"k,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/query: a batch of operations
+// answered from one index generation in one round trip.
+type BatchRequest struct {
+	// Index names the index to query; optional while exactly one index
+	// is served.
+	Index string    `json:"index,omitempty"`
+	Ops   []BatchOp `json:"ops"`
+}
+
+// BatchResult is the outcome of one BatchOp, in request order. Either
+// Error is set, or the fields of the op's kind are.
+type BatchResult struct {
+	Op     string      `json:"op"`
+	Error  string      `json:"error,omitempty"`
+	Found  bool        `json:"found,omitempty"`
+	NGram  *WireNGram  `json:"ngram,omitempty"`
+	Count  int         `json:"count,omitempty"`
+	NGrams []WireNGram `json:"ngrams,omitempty"`
+}
+
+// BatchResponse is the body of POST /v1/query. Generation is the index
+// generation every result was answered from: a batch never straddles a
+// hot swap.
+type BatchResponse struct {
+	Index      string        `json:"index"`
+	Generation int64         `json:"generation"`
+	Results    []BatchResult `json:"results"`
+}
+
+// LMScoreResponse is the body of GET /v1/lm/score: the Katz back-off
+// log-probability of the queried phrase.
+type LMScoreResponse struct {
+	Index      string  `json:"index"`
+	Generation int64   `json:"generation"`
+	Query      string  `json:"query"`
+	Words      int     `json:"words"`
+	LogProb    float64 `json:"logprob"`
+}
+
+// WirePrediction is one next-word candidate of GET /v1/lm/predict.
+type WirePrediction struct {
+	Word      string  `json:"word"`
+	Frequency int64   `json:"frequency"`
+	Score     float64 `json:"score"`
+}
+
+// LMPredictResponse is the body of GET /v1/lm/predict.
+type LMPredictResponse struct {
+	Index       string           `json:"index"`
+	Generation  int64            `json:"generation"`
+	Context     string           `json:"context"`
+	K           int              `json:"k"`
+	Predictions []WirePrediction `json:"predictions"`
+}
+
+// IndexHealth is one index's entry in HealthResponse.
+type IndexHealth struct {
+	Records      int64  `json:"records"`
+	Shards       int    `json:"shards"`
+	Generation   int64  `json:"generation"`
+	ManifestTime string `json:"manifest_mtime"` // RFC 3339
+	Corpus       string `json:"corpus,omitempty"`
+	LM           bool   `json:"lm,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz and GET /v1/healthz.
+type HealthResponse struct {
+	Status  string                 `json:"status"`
+	Uptime  string                 `json:"uptime"`
+	Indexes map[string]IndexHealth `json:"indexes"`
+}
+
+// ReloadResponse is the body of POST /v1/admin/reload: the new
+// generation number per reloaded index.
+type ReloadResponse struct {
+	Reloaded map[string]int64 `json:"reloaded"`
+}

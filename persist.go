@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"iter"
 	"strings"
+	"time"
 
 	"ngramstats/internal/core"
 	"ngramstats/internal/encoding"
@@ -36,6 +37,14 @@ type SaveOptions struct {
 	// TempDir is the scratch directory for the save-time sort (default:
 	// system temp).
 	TempDir string
+	// Replace allows saving over a directory that already contains a
+	// committed index. The new index is staged beside the old one and
+	// swapped in atomically: concurrent readers (an Index opened on the
+	// directory, or a ngramsd daemon watching it) keep serving the old
+	// generation undisturbed until they reopen, and the directory is
+	// openable at every instant of the replacement. Without Replace,
+	// saving into a directory that already holds an index fails.
+	Replace bool
 }
 
 // defaultTopDepth is how many top records Save precomputes by default.
@@ -99,6 +108,7 @@ func (r *Result) SaveWith(dir string, opts SaveOptions) error {
 		Jobs:      r.Jobs(),
 		Wallclock: r.Wallclock(),
 		Counters:  r.run.Counters.Snapshot(),
+		Replace:   opts.Replace,
 	})
 	if err != nil {
 		return err
@@ -201,9 +211,20 @@ func (x *Index) Counters() map[string]int64 { return x.ix.Counters() }
 // re-reading and re-decoding a shard block.
 func (x *Index) CacheStats() (hits, misses int64) { return x.ix.CacheStats() }
 
-// Close releases the index's open files. In-flight queries must have
-// completed.
+// ErrIndexClosed is reported by queries issued against a closed Index.
+var ErrIndexClosed = index.ErrClosed
+
+// Close releases the index's open files. Close is safe under live
+// traffic: queries in flight on other goroutines complete normally and
+// the files are closed when the last one drains, while queries started
+// after Close fail with ErrIndexClosed. Close is idempotent.
 func (x *Index) Close() error { return x.ix.Close() }
+
+// ManifestTime returns the modification time of the index manifest
+// observed when the index was opened. A serving layer compares it
+// against the on-disk manifest to detect that the directory has been
+// rewritten (SaveOptions.Replace) and a newer generation is available.
+func (x *Index) ManifestTime() time.Time { return x.ix.ManifestTime() }
 
 // eachAggregate streams every indexed record in ascending encoded-key
 // order through the shared iteration seam.

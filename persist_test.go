@@ -2,7 +2,9 @@ package ngramstats
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"path/filepath"
 	"reflect"
 	"sort"
@@ -264,5 +266,162 @@ func TestSaveRefusesOverwrite(t *testing.T) {
 	}
 	if err := res.Save(dir); err == nil {
 		t.Fatal("second Save into the same directory must fail")
+	}
+}
+
+// TestSaveReplaceSwapsGenerations pins the hot-swap contract of
+// SaveOptions.Replace: an Index opened before the rewrite keeps
+// answering from its generation, a fresh OpenIndex sees the new one,
+// and closing the old handle fails only later queries.
+func TestSaveReplaceSwapsGenerations(t *testing.T) {
+	c := saveTestCorpus(t)
+	ctx := context.Background()
+	res1, err := Count(ctx, c, Options{MinFrequency: 2, MaxLength: 3, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res1.Release()
+	res2, err := Count(ctx, c, Options{MinFrequency: 4, MaxLength: 2, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Release()
+	if res1.Len() == res2.Len() {
+		t.Fatalf("fixture results must differ (both %d records)", res1.Len())
+	}
+	// A phrase frequent enough for res1 but filtered out of res2.
+	var onlyOld string
+	for ng, err := range res1.NGrams() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := res2.Lookup(ng.Text); err != nil {
+			t.Fatal(err)
+		} else if !ok {
+			onlyOld = ng.Text
+			break
+		}
+	}
+	if onlyOld == "" {
+		t.Fatal("no n-gram distinguishes the two results")
+	}
+
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := res1.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	ix1, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix1.Close()
+
+	if err := res2.SaveWith(dir, SaveOptions{Replace: true}); err != nil {
+		t.Fatalf("SaveWith(Replace): %v", err)
+	}
+
+	// The pre-replace handle still serves the old generation.
+	if _, ok, err := ix1.Lookup(onlyOld); err != nil || !ok {
+		t.Fatalf("old handle after replace: Lookup(%q) = %v, %v (want found)", onlyOld, ok, err)
+	}
+	if ix1.Len() != res1.Len() {
+		t.Fatalf("old handle reports %d records, want %d", ix1.Len(), res1.Len())
+	}
+	// A fresh open serves the replacement.
+	ix2, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	if ix2.Len() != res2.Len() {
+		t.Fatalf("new handle reports %d records, want %d", ix2.Len(), res2.Len())
+	}
+	if _, ok, err := ix2.Lookup(onlyOld); err != nil || ok {
+		t.Fatalf("new handle: Lookup(%q) = %v, %v (want miss)", onlyOld, ok, err)
+	}
+	if !ix2.ManifestTime().After(ix1.ManifestTime()) {
+		t.Fatalf("manifest time did not advance across replace")
+	}
+
+	// Close-and-drain: the old handle refuses new queries after Close.
+	if err := ix1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix1.Lookup(onlyOld); !errors.Is(err, ErrIndexClosed) {
+		t.Fatalf("post-Close Lookup: err = %v, want ErrIndexClosed", err)
+	}
+}
+
+// TestLanguageModelFromIndexEquivalence pins that a model trained from
+// a persisted index answers identically to one trained from the live
+// Result the index was saved from — the serving-path guarantee behind
+// ngramsd -lm.
+func TestLanguageModelFromIndexEquivalence(t *testing.T) {
+	c := saveTestCorpus(t)
+	res, err := Count(context.Background(), c, Options{MinFrequency: 1, MaxLength: 3, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := res.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fromRes, err := NewLanguageModel(res, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromIx, err := NewLanguageModelFromIndex(ix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The index was read only during construction; the model outlives it.
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every indexed n-gram scores identically under both models.
+	for ng, err := range res.NGrams() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		words := strings.Fields(ng.Text)
+		ctxWords, last := words[:len(words)-1], words[len(words)-1]
+		a, b := fromRes.Score(ctxWords, last), fromIx.Score(ctxWords, last)
+		if a != b {
+			t.Fatalf("Score(%v | %v): result model %v, index model %v", last, ctxWords, a, b)
+		}
+	}
+	// Predictions and Katz log-probabilities agree too.
+	pa, pb := fromRes.Predict([]string{"the"}, 5), fromIx.Predict([]string{"the"}, 5)
+	if !reflect.DeepEqual(pa, pb) {
+		t.Fatalf("Predict diverged:\n result %+v\n  index %+v", pa, pb)
+	}
+	if len(pa) == 0 {
+		t.Fatal("no predictions after \"the\"")
+	}
+	for _, phrase := range [][]string{
+		{"the", "quick", "brown", "fox"},
+		{"to", "be", "or", "not", "to", "be"},
+		{"the", "zzz-unknown", "dog"},
+	} {
+		la, lb := fromRes.LogProb(phrase), fromIx.LogProb(phrase)
+		if la != lb {
+			t.Fatalf("LogProb(%v): result model %v, index model %v", phrase, la, lb)
+		}
+		if la >= 0 || math.IsNaN(la) || math.IsInf(la, 0) {
+			t.Fatalf("LogProb(%v) = %v, want a finite negative value", phrase, la)
+		}
+	}
+	// Predict ranks by stupid-backoff score, best first.
+	for i := 1; i < len(pa); i++ {
+		if pa[i].Score > pa[i-1].Score {
+			t.Fatalf("predictions out of order: %+v", pa)
+		}
 	}
 }
