@@ -33,6 +33,12 @@
 //
 //	ngrams -worker-connect host:7001 &   # repeat per worker
 //	ngrams -runner='net://host:7001?spawn=0' -tau 5 books/*.txt
+//
+// -sketch skips the exact MapReduce job entirely and answers from a
+// one-pass count-min sketch: a single streaming scan, constant memory,
+// one-sided estimates with a stated eps*N error bound:
+//
+//	ngrams -sketch -eps 1e-4 -delta 0.01 -sigma 3 -top 20 books/*.txt
 package main
 
 import (
@@ -73,6 +79,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "max concurrent worker processes with a worker-based -runner (0 = backend default)")
 		retries  = flag.Int("retries", 0, "per-task attempt budget with a worker-based -runner (0 = default of 2)")
 		connect  = flag.String("worker-connect", "", "run as a net worker for the coordinator at this address (host:port) until interrupted; no input is read")
+		sketch   = flag.Bool("sketch", false, "one-pass approximate mode: count-min sketch instead of the exact MapReduce job")
+		eps      = flag.Float64("eps", 0, "with -sketch: estimates exceed true counts by at most eps*N (0 = default 1e-4)")
+		delta    = flag.Float64("delta", 0, "with -sketch: the eps*N bound holds per key with probability 1-delta (0 = default 0.01)")
 	)
 	mapreduce.RunWorkerIfRequested() // hidden worker mode for worker-based -runner re-execs
 	flag.Parse()
@@ -84,6 +93,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ngrams: worker serving coordinator %s; interrupt to stop\n", *connect)
 		if err := mapreduce.RunNetWorker(wctx, *connect); err != nil {
 			fmt.Fprintln(os.Stderr, "ngrams: worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *sketch {
+		if err := sketchRun(documents(flag.Args(), *web), *eps, *delta, *sigma, *top); err != nil {
+			fmt.Fprintln(os.Stderr, "ngrams:", err)
 			os.Exit(1)
 		}
 		return
@@ -192,6 +209,37 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// sketchRun is the -sketch mode: one streaming pass over the input
+// through a count-min sketch, then the tracked heavy hitters with
+// their one-sided error bounds. No exact job runs and no corpus is
+// materialized; memory stays constant in the input size.
+func sketchRun(docs iter.Seq2[ngramstats.Document, error], eps, delta float64, sigma, top int) error {
+	si, err := ngramstats.NewStreamIngester(ngramstats.IngestOptions{
+		Epsilon: eps, Delta: delta, MaxLength: sigma, TopK: max(top, 1),
+	})
+	if err != nil {
+		return err
+	}
+	for doc, err := range docs {
+		if err != nil {
+			return err
+		}
+		if err := si.Ingest(doc); err != nil {
+			return err
+		}
+	}
+	if si.Docs() == 0 {
+		return fmt.Errorf("no input documents")
+	}
+	opts := si.Options()
+	fmt.Printf("approximate heavy hitters over %d documents (eps=%g delta=%g sigma=%d)\n",
+		si.Docs(), opts.Epsilon, opts.Delta, opts.MaxLength)
+	for _, hh := range si.TopK(top) {
+		fmt.Printf("%10d (+<=%d)  %s\n", hh.Estimate, hh.Bound, hh.Phrase)
+	}
+	return nil
 }
 
 // backendLabel resolves the same runner address the run used and

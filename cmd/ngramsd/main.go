@@ -30,8 +30,23 @@
 // as it lands; POST /v1/admin/reload triggers the same swap on demand.
 // In-flight queries finish on the generation they started on.
 //
-// The daemon is read-only and serves all indexes concurrently; shut it
-// down with SIGINT or SIGTERM (in-flight requests drain gracefully).
+// With -ingest NAME the named index additionally accepts live
+// documents and answers approximate queries between reconciliations:
+//
+//	ngramsd -index live=/data/live-idx -ingest live -reconcile-every 10000
+//	curl -d '{"docs":[{"text":"the quick brown fox."}]}' localhost:8091/v1/ingest
+//	curl 'localhost:8091/v1/approx/lookup?q=quick+brown'
+//	curl 'localhost:8091/v1/approx/topk?k=10'
+//	curl -X POST 'localhost:8091/v1/admin/reconcile'
+//
+// The index directory may start empty; it materializes at the first
+// reconciliation. -eps and -delta size the count-min sketch behind the
+// approximate answers, and -reconcile-every triggers the exact
+// MapReduce job automatically once that many documents are pending.
+//
+// Without -ingest the daemon is read-only; it serves all indexes
+// concurrently either way. Shut it down with SIGINT or SIGTERM
+// (in-flight requests drain gracefully).
 package main
 
 import (
@@ -46,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"ngramstats"
 	"ngramstats/internal/serving"
 )
 
@@ -65,6 +81,13 @@ func main() {
 	maxLimit := flag.Int("max-limit", 0, "largest accepted prefix limit parameter (0 = default)")
 	maxK := flag.Int("max-k", 0, "largest accepted k parameter (0 = default)")
 	maxBatch := flag.Int("max-batch", 0, "most operations accepted per /v1/query batch (0 = default)")
+	ingest := flag.String("ingest", "", "enable live ingestion into this index name and serve /v1/ingest and /v1/approx endpoints")
+	eps := flag.Float64("eps", 0, "sketch error bound factor: estimates exceed true counts by at most eps*N (0 = default 1e-4)")
+	delta := flag.Float64("delta", 0, "sketch failure probability: the eps*N bound holds for each key with probability 1-delta (0 = default 0.01)")
+	topK := flag.Int("ingest-topk", 0, "heavy hitters tracked per sketched order (0 = default 128)")
+	ingestMaxLen := flag.Int("ingest-maxlen", 0, "longest sketched and reconciled n-gram (0 = default 5)")
+	reconcileEvery := flag.Int("reconcile-every", 0, "run the exact reconciliation job once this many documents are pending (0 = manual via /v1/admin/reconcile)")
+	minFrequency := flag.Int64("min-frequency", 2, "minimum frequency the reconciled exact index keeps")
 	flag.Func("index", "index directory to serve, optionally name=path (repeatable)", func(v string) error {
 		specs = append(specs, v)
 		return nil
@@ -92,7 +115,7 @@ func main() {
 		indexes[name] = serving.IndexConfig{Dir: dir, CacheBlocks: *cacheBlocks}
 	}
 
-	srv, err := serving.NewServer(serving.ServerOptions{
+	opts := serving.ServerOptions{
 		Indexes:      indexes,
 		MaxInflight:  *maxInflight,
 		MaxQueue:     *maxQueue,
@@ -102,7 +125,29 @@ func main() {
 		MaxBatch:     *maxBatch,
 		LMOrder:      *lmOrder,
 		Logf:         log.Printf,
-	})
+	}
+	if *watch {
+		opts.WatchInterval = *watchInterval
+	}
+	if *ingest != "" {
+		si, err := ngramstats.NewStreamIngester(ngramstats.IngestOptions{
+			Epsilon:        *eps,
+			Delta:          *delta,
+			TopK:           *topK,
+			MaxLength:      *ingestMaxLen,
+			ReconcileEvery: *reconcileEvery,
+		})
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		opts.Live = &serving.LiveConfig{
+			Ingester: si,
+			Index:    *ingest,
+			Count:    ngramstats.Options{MinFrequency: *minFrequency},
+		}
+	}
+
+	srv, err := serving.NewServer(opts)
 	if err != nil {
 		log.Fatalf("%v", err)
 	}
@@ -116,6 +161,12 @@ func main() {
 	if *watch {
 		go srv.Watch(ctx, *watchInterval)
 		log.Printf("watching manifests every %v", *watchInterval)
+	}
+	if *ingest != "" {
+		go srv.ReconcileLoop(ctx)
+		iopts := opts.Live.Ingester.Options()
+		log.Printf("live ingestion into %q (eps=%g delta=%g maxlen=%d reconcile-every=%d)",
+			*ingest, iopts.Epsilon, iopts.Delta, iopts.MaxLength, iopts.ReconcileEvery)
 	}
 
 	ready := make(chan string, 1)

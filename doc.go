@@ -104,6 +104,43 @@
 // endpoint with 429 + Retry-After. cmd/ngrams can save (-save) or
 // compute-and-serve (-serve) directly.
 //
+// # Live ingestion and approximate counting
+//
+// The batch methods need the whole corpus before anything can be
+// counted. NewStreamIngester is the streaming companion: documents are
+// folded one at a time into a per-order count-min sketch (conservative
+// update, safe for concurrent use without locking on the hot path) and
+// are queryable immediately. Estimates are one-sided — never below the
+// true count of the ingested stream — and exceed it by at most
+// ceil(ε·N) with probability 1−δ per phrase, where N is the number of
+// n-gram occurrences at that order (IngestOptions.Epsilon and Delta;
+// the sketch is sized width = ceil(e/ε), depth = ceil(ln(1/δ))). A
+// top-k heap per order tracks heavy hitters.
+//
+//	si, err := ngramstats.NewStreamIngester(ngramstats.IngestOptions{
+//		Epsilon: 1e-4, Delta: 0.01, MaxLength: 3,
+//	})
+//	if err != nil { ... }
+//	if err := si.Ingest(ngramstats.Document{Text: "a rose is a rose"}); err != nil { ... }
+//	ac, ok := si.Estimate("a rose") // one-sided; ac.Bound states the error
+//	hot := si.TopK(25)
+//
+// The sketch is an accelerator, not a replacement: BeginReconcile
+// freezes the accumulated documents and hands back a Reconcile whose
+// Corpus runs them through the standard corpus build, so the exact
+// MapReduce job over it produces results byte-identical to a batch run
+// over the same documents. Commit then drops the counted sketch delta
+// (documents ingested during the reconciliation remain counted in a
+// fresh delta); Abort folds the delta back. WriteSnapshot persists the
+// sketch in a CRC-checksummed format mergeable across processes.
+//
+// cmd/ngramsd wires this into the daemon as -ingest: POST /v1/ingest
+// accepts documents, GET /v1/approx/lookup and /v1/approx/topk answer
+// with approx:true and stated bounds, and a reconciliation loop
+// (-reconcile-every, or POST /v1/admin/reconcile) hot-swaps the exact
+// index in with zero dropped requests. cmd/ngrams -sketch is the
+// one-pass command-line variant.
+//
 // # Language models
 //
 // NewLanguageModel trains an n-gram language model from a live Result;

@@ -1,0 +1,403 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ngramstats"
+)
+
+// LiveConfig wires a StreamIngester into the server: the live-ingest
+// endpoints feed it, the approximate endpoints query it, and the
+// reconciliation loop periodically converts its accumulated documents
+// into an exact index that hot-swaps into the named served index.
+type LiveConfig struct {
+	// Ingester is the stream ingester behind POST /v1/ingest. Required.
+	Ingester *ngramstats.StreamIngester
+	// Index names the served index (a key of ServerOptions.Indexes) the
+	// reconciliation loop saves into. Its directory may start empty: it
+	// materializes at the first reconcile. Required.
+	Index string
+	// Count configures the exact reconciliation job. A zero MaxLength
+	// is replaced by the ingester's, so the exact index covers the same
+	// orders the sketch does.
+	Count ngramstats.Options
+	// Save configures how reconciled results are persisted; Replace is
+	// forced on.
+	Save ngramstats.SaveOptions
+	// Interval is how often the reconciliation loop checks whether
+	// enough documents accumulated (IngestOptions.ReconcileEvery).
+	// Default 1s.
+	Interval time.Duration
+	// MaxBatch caps the documents accepted per POST /v1/ingest request
+	// (default DefaultMaxBatch).
+	MaxBatch int
+	// MaxBody caps the request body of POST /v1/ingest in bytes
+	// (default 16 MiB).
+	MaxBody int64
+}
+
+// liveState is the server side of live ingestion.
+type liveState struct {
+	cfg LiveConfig
+
+	// mu serializes reconciliations (the loop and the admin endpoint).
+	mu         sync.Mutex
+	reconciles atomic.Int64 // committed reconciliations
+}
+
+func newLiveState(cfg *LiveConfig) (*liveState, error) {
+	c := *cfg
+	if c.Ingester == nil {
+		return nil, fmt.Errorf("serving: LiveConfig.Ingester is required")
+	}
+	if c.Index == "" {
+		return nil, fmt.Errorf("serving: LiveConfig.Index is required")
+	}
+	if c.Count.MaxLength == 0 {
+		c.Count.MaxLength = c.Ingester.Options().MaxLength
+	}
+	c.Save.Replace = true
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 16 << 20
+	}
+	return &liveState{cfg: c}, nil
+}
+
+func (ls *liveState) health() *LiveHealth {
+	si := ls.cfg.Ingester
+	io := si.Options()
+	return &LiveHealth{
+		Index:       ls.cfg.Index,
+		Docs:        si.Docs(),
+		Covered:     si.Covered(),
+		Pending:     si.Pending(),
+		Reconciles:  ls.reconciles.Load(),
+		Epsilon:     io.Epsilon,
+		Delta:       io.Delta,
+		MaxLength:   io.MaxLength,
+		SketchBytes: si.Bytes(),
+	}
+}
+
+// requireLive rejects live endpoints with 501 unless live ingestion is
+// configured.
+func (s *Server) requireLive(w http.ResponseWriter) (*liveState, bool) {
+	if s.live == nil {
+		writeError(w, http.StatusNotImplemented,
+			"live ingestion not enabled (start ngramsd with -ingest)")
+		return nil, false
+	}
+	return s.live, true
+}
+
+// exactFor pins the reconciled generation of the live index, returning
+// (nil, 0) before the first reconciliation lands — the approximate
+// endpoints then answer from the sketch alone.
+func (s *Server) exactFor(ls *liveState) (*generation, int64) {
+	g := s.handles[ls.cfg.Index].acquire()
+	if g == nil {
+		return nil, 0
+	}
+	return g, g.num
+}
+
+// approxFor combines the exact component of one phrase (from a pinned
+// generation, which may be nil) with the sketch delta.
+func approxFor(si *ngramstats.StreamIngester, g *generation, phrase string) (ApproxNGram, bool, error) {
+	ac, ok := si.Estimate(phrase)
+	if !ok {
+		return ApproxNGram{}, false, nil
+	}
+	out := ApproxNGram{
+		Phrase:   ac.Phrase,
+		Order:    ac.Order,
+		Delta:    ac.Estimate,
+		Bound:    ac.Bound,
+		Estimate: ac.Estimate,
+	}
+	if g != nil {
+		ng, found, err := g.ix.Lookup(ac.Phrase)
+		if err != nil {
+			return ApproxNGram{}, false, err
+		}
+		if found {
+			out.Exact = ng.Frequency
+			out.Estimate += ng.Frequency
+		}
+	}
+	return out, true, nil
+}
+
+// handleIngest answers POST /v1/ingest: fold a batch of documents into
+// the live sketch delta.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.requireLive(w)
+	if !ok {
+		return
+	}
+	var req IngestRequest
+	body := http.MaxBytesReader(w, r.Body, ls.cfg.MaxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad ingest request: %v", err)
+		return
+	}
+	if len(req.Docs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty document batch")
+		return
+	}
+	if len(req.Docs) > ls.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			"batch of %d documents exceeds limit %d", len(req.Docs), ls.cfg.MaxBatch)
+		return
+	}
+	docs := make([]ngramstats.Document, len(req.Docs))
+	for i, d := range req.Docs {
+		docs[i] = ngramstats.Document{ID: d.ID, Text: d.Text, Year: d.Year, Web: d.Web}
+	}
+	si := ls.cfg.Ingester
+	if err := si.Ingest(docs...); err != nil {
+		writeError(w, http.StatusInternalServerError, "ingest: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Ingested: len(docs),
+		Docs:     si.Docs(),
+		Covered:  si.Covered(),
+		Pending:  si.Pending(),
+	})
+}
+
+// handleApproxLookup answers GET /v1/approx/lookup: exact count from
+// the reconciled generation plus the one-sided sketch estimate of
+// everything newer, with the error bound stated.
+func (s *Server) handleApproxLookup(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.requireLive(w)
+	if !ok {
+		return
+	}
+	q, ok := requireQ(w, r)
+	if !ok {
+		return
+	}
+	g, gen := s.exactFor(ls)
+	if g != nil {
+		defer g.release()
+	}
+	ng, ok, err := approxFor(ls.cfg.Ingester, g, q)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "approx lookup: %v", err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusBadRequest,
+			"phrase %q outside sketched lengths 1..%d", q, ls.cfg.Ingester.Options().MaxLength)
+		return
+	}
+	writeJSON(w, http.StatusOK, ApproxLookupResponse{
+		Index:       ls.cfg.Index,
+		Generation:  gen,
+		Query:       q,
+		Approx:      true,
+		ApproxNGram: ng,
+	})
+}
+
+// handleApproxTopK answers GET /v1/approx/topk: the union of the
+// reconciled index's top records and the sketch's heavy hitters, each
+// rescored as exact + delta.
+func (s *Server) handleApproxTopK(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.requireLive(w)
+	if !ok {
+		return
+	}
+	k, ok := s.parseK(w, r, defaultTopK, 1)
+	if !ok {
+		return
+	}
+	si := ls.cfg.Ingester
+	g, gen := s.exactFor(ls)
+	if g != nil {
+		defer g.release()
+	}
+	cands := make(map[string]ApproxNGram)
+	add := func(phrase string) error {
+		if _, dup := cands[phrase]; dup {
+			return nil
+		}
+		ng, ok, err := approxFor(si, g, phrase)
+		if err != nil || !ok {
+			return err // out-of-range candidates are skipped silently
+		}
+		cands[ng.Phrase] = ng
+		return nil
+	}
+	for _, hh := range si.TopK(k) {
+		if err := add(hh.Phrase); err != nil {
+			writeError(w, http.StatusInternalServerError, "approx topk: %v", err)
+			return
+		}
+	}
+	if g != nil {
+		ngs, err := g.ix.TopK(k)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "approx topk: %v", err)
+			return
+		}
+		for _, ng := range ngs {
+			if err := add(ng.Text); err != nil {
+				writeError(w, http.StatusInternalServerError, "approx topk: %v", err)
+				return
+			}
+		}
+	}
+	out := make([]ApproxNGram, 0, len(cands))
+	for _, ng := range cands {
+		out = append(out, ng)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return out[i].Phrase < out[j].Phrase
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	writeJSON(w, http.StatusOK, ApproxTopKResponse{
+		Index:      ls.cfg.Index,
+		Generation: gen,
+		K:          k,
+		Approx:     true,
+		NGrams:     out,
+	})
+}
+
+// handleReconcile answers POST /v1/admin/reconcile: run the exact job
+// over everything ingested, swap the result in, and reset the delta.
+func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.requireLive(w); !ok {
+		return
+	}
+	resp, err := s.ReconcileNow(r.Context())
+	switch {
+	case errors.Is(err, ngramstats.ErrReconcileActive):
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "reconcile: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ReconcileNow runs one exact reconciliation synchronously: freeze the
+// ingested documents, run the batch MapReduce job over them through the
+// standard corpus build (so the saved index is identical to a pure
+// batch run), save it over the live index directory, hot-swap the new
+// generation in, and drop the drained sketch delta. On any failure the
+// delta is folded back and queries keep answering approximately.
+func (s *Server) ReconcileNow(ctx context.Context) (ReconcileResponse, error) {
+	ls := s.live
+	if ls == nil {
+		return ReconcileResponse{}, fmt.Errorf("serving: live ingestion not enabled")
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+
+	si := ls.cfg.Ingester
+	resp := ReconcileResponse{Index: ls.cfg.Index}
+	rc, err := si.BeginReconcile()
+	if err != nil {
+		return resp, err
+	}
+	if int64(rc.Cutoff()) == si.Covered() {
+		if err := rc.Abort(); err != nil {
+			return resp, err
+		}
+		if g := s.handles[ls.cfg.Index].acquire(); g != nil {
+			resp.Generation = g.num
+			g.release()
+		}
+		return resp, nil
+	}
+	run := func() error {
+		c, err := rc.Corpus(ctx, ls.cfg.Index)
+		if err != nil {
+			return fmt.Errorf("build corpus: %w", err)
+		}
+		res, err := ngramstats.Count(ctx, c, ls.cfg.Count)
+		if err != nil {
+			return fmt.Errorf("exact job: %w", err)
+		}
+		defer res.Release()
+		h := s.handles[ls.cfg.Index]
+		if err := res.SaveWith(h.cfg.Dir, ls.cfg.Save); err != nil {
+			return fmt.Errorf("save: %w", err)
+		}
+		gen, err := s.Reload(ls.cfg.Index)
+		if err != nil {
+			return err
+		}
+		resp.Generation = gen
+		return nil
+	}
+	if err := run(); err != nil {
+		if aerr := rc.Abort(); aerr != nil {
+			s.logf("serving: reconcile abort after %v: %v", err, aerr)
+		}
+		return resp, err
+	}
+	// Commit after the swap: between Reload and Commit both the new
+	// generation and the draining delta cover the reconciled documents,
+	// so estimates stay one-sided (briefly doubled) rather than ever
+	// dropping below the true count.
+	rc.Commit()
+	ls.reconciles.Add(1)
+	resp.Applied = true
+	resp.Docs = int64(rc.Cutoff())
+	s.logf("serving: reconciled %d documents into index %q generation %d",
+		rc.Cutoff(), ls.cfg.Index, resp.Generation)
+	return resp, nil
+}
+
+// ReconcileLoop runs exact reconciliations whenever at least
+// IngestOptions.ReconcileEvery documents accumulated since the last
+// one, checking every LiveConfig.Interval. With ReconcileEvery zero it
+// idles: reconciliation happens only through POST /v1/admin/reconcile.
+// Blocks until ctx is done; run it in its own goroutine.
+func (s *Server) ReconcileLoop(ctx context.Context) {
+	ls := s.live
+	if ls == nil {
+		return
+	}
+	every := int64(ls.cfg.Ingester.Options().ReconcileEvery)
+	t := time.NewTicker(ls.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if every <= 0 || ls.cfg.Ingester.Pending() < every {
+			continue
+		}
+		if _, err := s.ReconcileNow(ctx); err != nil {
+			s.logf("serving: reconcile loop: %v", err)
+		}
+	}
+}

@@ -12,7 +12,11 @@
 //	POST /v1/query                               batch of ops, one round trip
 //	GET  /v1/lm/score?q=phrase[&index=name]      Katz log-probability
 //	GET  /v1/lm/predict?q=context[&k=n][&index=] next-word candidates
+//	POST /v1/ingest                              fold a document batch into the live sketch
+//	GET  /v1/approx/lookup?q=phrase              approximate count with error bound
+//	GET  /v1/approx/topk?k=n                     approximate heavy hitters
 //	POST /v1/admin/reload[?index=name]           swap to the on-disk index
+//	POST /v1/admin/reconcile                     run the exact job over ingested documents now
 //	GET  /v1/healthz (alias /healthz)            liveness + generations
 //	GET  /metrics                                Prometheus-style text
 //
@@ -41,12 +45,31 @@
 // the request is shed with 429 and a Retry-After header — the server
 // degrades by refusing excess work early instead of queueing without
 // bound. /healthz, /metrics, and the admin endpoints are never shed.
+// /v1/ingest has its own gate, so write pressure shedding is visible
+// separately from query shedding; ngramsd_shed_reason_total further
+// splits sheds into queue_full versus timeout.
+//
+// # Live ingestion
+//
+// With ServerOptions.Live, the daemon additionally accepts a live
+// document stream: POST /v1/ingest folds batches into a one-pass
+// count-min sketch (ngramstats.StreamIngester), and /v1/approx/lookup
+// and /v1/approx/topk answer immediately with one-sided estimates plus
+// a stated ε·N error bound — every response carries approx: true. A
+// reconciliation loop (or POST /v1/admin/reconcile) periodically runs
+// the exact MapReduce job over everything ingested, saves the result
+// over the live index directory, hot-swaps it in through the
+// generation machinery, and resets the sketch delta: approximate
+// answers degrade gracefully to exact + a delta covering only the
+// documents ingested since the last reconcile.
 package serving
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"net"
 	"net/http"
 	"os"
@@ -120,6 +143,16 @@ type ServerOptions struct {
 	// Zero leaves them returning 501.
 	LMOrder int
 
+	// WatchInterval is the manifest poll interval the daemon watches
+	// with; it is reported in /healthz. Zero means the daemon is not
+	// watching (Watch called with an explicit interval still works).
+	WatchInterval time.Duration
+
+	// Live enables the live-ingestion endpoints (POST /v1/ingest,
+	// GET /v1/approx/*, POST /v1/admin/reconcile) and the exact
+	// reconciliation loop. Nil leaves them returning 501.
+	Live *LiveConfig
+
 	// Logf, if non-nil, receives operational log lines (reloads, watch
 	// errors).
 	Logf func(format string, args ...any)
@@ -188,14 +221,18 @@ func (g *generation) release() {
 }
 
 // handle is the mutable slot of one served index: the active
-// generation, swapped atomically by Reload.
+// generation, swapped atomically by Reload. A live-fed handle may hold
+// no generation before the first reconciliation materializes its
+// directory; closed distinguishes that state from a shut-down server.
 type handle struct {
 	name string
 	cfg  IndexConfig
+	live bool
 
-	mu    sync.Mutex // serializes Reload
-	gen   atomic.Pointer[generation]
-	swaps atomic.Int64
+	mu     sync.Mutex // serializes Reload
+	closed bool       // set by Close, under mu
+	gen    atomic.Pointer[generation]
+	swaps  atomic.Int64
 }
 
 // acquire pins the active generation, or returns nil after Close.
@@ -214,15 +251,19 @@ func (h *handle) acquire() *generation {
 }
 
 // gate is one endpoint's admission control: a semaphore of MaxInflight
-// slots with a bounded, timeout-limited wait queue.
+// slots with a bounded, timeout-limited wait queue. Sheds are counted
+// in total and split by reason: the queue being full (instant refusal)
+// versus a queued request timing out.
 type gate struct {
 	sem      chan struct{}
 	maxQueue int64
 	timeout  time.Duration
 
-	waiting  atomic.Int64
-	inflight atomic.Int64
-	shed     atomic.Int64
+	waiting       atomic.Int64
+	inflight      atomic.Int64
+	shed          atomic.Int64
+	shedQueueFull atomic.Int64
+	shedTimeout   atomic.Int64
 }
 
 func newGate(maxInflight, maxQueue int, timeout time.Duration) *gate {
@@ -246,6 +287,7 @@ func (g *gate) enter() bool {
 	if g.waiting.Add(1) > g.maxQueue {
 		g.waiting.Add(-1)
 		g.shed.Add(1)
+		g.shedQueueFull.Add(1)
 		return false
 	}
 	defer g.waiting.Add(-1)
@@ -257,6 +299,7 @@ func (g *gate) enter() bool {
 		return true
 	case <-t.C:
 		g.shed.Add(1)
+		g.shedTimeout.Add(1)
 		return false
 	}
 }
@@ -331,18 +374,26 @@ type Server struct {
 	mux        *http.ServeMux
 	retryAfter string // precomputed Retry-After header value, seconds
 
+	// live is the live-ingestion state; nil unless ServerOptions.Live
+	// was set.
+	live *liveState
+
 	// eps lists every endpoint in metrics-rendering order; the named
 	// fields alias into it.
-	eps       []*endpoint
-	epLookup  *endpoint
-	epPrefix  *endpoint
-	epTopK    *endpoint
-	epQuery   *endpoint
-	epScore   *endpoint
-	epPredict *endpoint
-	epHealthz *endpoint
-	epMetrics *endpoint
-	epReload  *endpoint
+	eps            []*endpoint
+	epLookup       *endpoint
+	epPrefix       *endpoint
+	epTopK         *endpoint
+	epQuery        *endpoint
+	epScore        *endpoint
+	epPredict      *endpoint
+	epIngest       *endpoint
+	epApproxLookup *endpoint
+	epApproxTopK   *endpoint
+	epHealthz      *endpoint
+	epMetrics      *endpoint
+	epReload       *endpoint
+	epReconcile    *endpoint
 }
 
 // NewServer opens every configured index at its current generation and
@@ -364,18 +415,34 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		mux:        http.NewServeMux(),
 		retryAfter: strconv.FormatInt(retry, 10),
 	}
+	if opts.Live != nil {
+		ls, err := newLiveState(opts.Live)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := opts.Indexes[ls.cfg.Index]; !ok {
+			return nil, fmt.Errorf("serving: live index %q not among served indexes", ls.cfg.Index)
+		}
+		s.live = ls
+	}
 	for name := range opts.Indexes {
 		s.names = append(s.names, name)
 	}
 	sort.Strings(s.names)
 	for _, name := range s.names {
 		h := &handle{name: name, cfg: opts.Indexes[name]}
+		h.live = s.live != nil && s.live.cfg.Index == name
 		g, err := s.openGeneration(h.cfg, 1)
-		if err != nil {
+		switch {
+		case err == nil:
+			h.gen.Store(g)
+		case h.live && errors.Is(err, fs.ErrNotExist):
+			// The live index materializes at the first reconciliation;
+			// until then the handle serves without a generation.
+		default:
 			s.Close()
 			return nil, fmt.Errorf("serving: open index %q: %w", name, err)
 		}
-		h.gen.Store(g)
 		s.handles[name] = h
 	}
 
@@ -391,12 +458,17 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	s.epQuery = gated("query")
 	s.epScore = gated("lm_score")
 	s.epPredict = gated("lm_predict")
+	s.epIngest = gated("ingest")
+	s.epApproxLookup = gated("approx_lookup")
+	s.epApproxTopK = gated("approx_topk")
 	s.epHealthz = &endpoint{name: "healthz"}
 	s.epMetrics = &endpoint{name: "metrics"}
 	s.epReload = &endpoint{name: "reload"}
+	s.epReconcile = &endpoint{name: "reconcile"}
 	s.eps = []*endpoint{
 		s.epLookup, s.epPrefix, s.epTopK, s.epQuery,
-		s.epScore, s.epPredict, s.epHealthz, s.epMetrics, s.epReload,
+		s.epScore, s.epPredict, s.epIngest, s.epApproxLookup, s.epApproxTopK,
+		s.epHealthz, s.epMetrics, s.epReload, s.epReconcile,
 	}
 
 	s.mux.HandleFunc("GET /v1/lookup", s.handler(s.epLookup, false, s.handleLookupV1))
@@ -405,7 +477,11 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/query", s.handler(s.epQuery, false, s.handleBatch))
 	s.mux.HandleFunc("GET /v1/lm/score", s.handler(s.epScore, false, s.handleLMScore))
 	s.mux.HandleFunc("GET /v1/lm/predict", s.handler(s.epPredict, false, s.handleLMPredict))
+	s.mux.HandleFunc("POST /v1/ingest", s.handler(s.epIngest, false, s.handleIngest))
+	s.mux.HandleFunc("GET /v1/approx/lookup", s.handler(s.epApproxLookup, false, s.handleApproxLookup))
+	s.mux.HandleFunc("GET /v1/approx/topk", s.handler(s.epApproxTopK, false, s.handleApproxTopK))
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handler(s.epReload, false, s.handleReload))
+	s.mux.HandleFunc("POST /v1/admin/reconcile", s.handler(s.epReconcile, false, s.handleReconcile))
 	s.mux.HandleFunc("GET /v1/healthz", s.handler(s.epHealthz, false, s.handleHealthz))
 	s.mux.HandleFunc("/lookup", s.handler(s.epLookup, true, s.handleLookupLegacy))
 	s.mux.HandleFunc("/prefix", s.handler(s.epPrefix, true, s.handlePrefixLegacy))
@@ -450,17 +526,23 @@ func (s *Server) Reload(name string) (int64, error) {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	old := h.gen.Load()
-	if old == nil {
+	if h.closed {
 		return 0, fmt.Errorf("serving: server closed")
 	}
-	g, err := s.openGeneration(h.cfg, old.num+1)
+	old := h.gen.Load()
+	num := int64(1)
+	if old != nil {
+		num = old.num + 1
+	}
+	g, err := s.openGeneration(h.cfg, num)
 	if err != nil {
 		return 0, fmt.Errorf("serving: reload %q: %w", name, err)
 	}
 	h.gen.Store(g)
 	h.swaps.Add(1)
-	old.release()
+	if old != nil {
+		old.release()
+	}
 	s.logf("serving: index %q swapped to generation %d (manifest %s)",
 		name, g.num, g.ix.ManifestTime().UTC().Format(time.RFC3339))
 	return g.num, nil
@@ -511,14 +593,14 @@ func (s *Server) Watch(ctx context.Context, interval time.Duration) {
 
 func (s *Server) checkReload(h *handle) {
 	g := h.gen.Load()
-	if g == nil {
-		return
+	if g == nil && !h.live {
+		return // shut down
 	}
 	st, err := os.Stat(filepath.Join(h.cfg.Dir, index.ManifestFile))
 	if err != nil {
-		return // mid-replacement or transient; retry next tick
+		return // not yet materialized, mid-replacement, or transient
 	}
-	if st.ModTime().Equal(g.ix.ManifestTime()) {
+	if g != nil && st.ModTime().Equal(g.ix.ManifestTime()) {
 		return
 	}
 	if _, err := s.Reload(h.name); err != nil {
@@ -536,6 +618,7 @@ func (s *Server) Close() error {
 			continue
 		}
 		h.mu.Lock()
+		h.closed = true
 		g := h.gen.Swap(nil)
 		h.mu.Unlock()
 		if g != nil {
@@ -1009,8 +1092,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	inv := make(map[string]IndexHealth, len(s.names))
 	for _, name := range s.names {
-		g := s.handles[name].acquire()
+		h := s.handles[name]
+		g := h.acquire()
 		if g == nil {
+			h.mu.Lock()
+			closed := h.closed
+			h.mu.Unlock()
+			if h.live && !closed {
+				// Awaiting its first reconciliation; healthy.
+				inv[name] = IndexHealth{Live: true}
+				continue
+			}
 			status = "shutdown"
 			continue
 		}
@@ -1021,6 +1113,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			ManifestTime: g.ix.ManifestTime().UTC().Format(time.RFC3339Nano),
 			Corpus:       g.ix.Corpus(),
 			LM:           g.lm != nil,
+			Live:         h.live,
 		}
 		g.release()
 	}
@@ -1028,11 +1121,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if status != "ok" {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, HealthResponse{
+	resp := HealthResponse{
 		Status:  status,
 		Uptime:  time.Since(s.start).String(),
 		Indexes: inv,
-	})
+	}
+	if s.opts.WatchInterval > 0 {
+		resp.WatchInterval = s.opts.WatchInterval.String()
+	}
+	if s.live != nil {
+		resp.Live = s.live.health()
+	}
+	writeJSON(w, code, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -1051,10 +1151,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if ep.gate != nil {
 			fmt.Fprintf(w, "ngramsd_inflight{endpoint=%q} %d\n", ep.name, ep.gate.inflight.Load())
 			fmt.Fprintf(w, "ngramsd_shed_total{endpoint=%q} %d\n", ep.name, ep.gate.shed.Load())
+			fmt.Fprintf(w, "ngramsd_shed_reason_total{endpoint=%q,reason=\"queue_full\"} %d\n",
+				ep.name, ep.gate.shedQueueFull.Load())
+			fmt.Fprintf(w, "ngramsd_shed_reason_total{endpoint=%q,reason=\"timeout\"} %d\n",
+				ep.name, ep.gate.shedTimeout.Load())
 		}
 	}
 	for _, ep := range []*endpoint{s.epLookup, s.epPrefix, s.epTopK} {
 		fmt.Fprintf(w, "ngramsd_legacy_requests_total{endpoint=%q} %d\n", ep.name, ep.legacy.Load())
+	}
+	if s.live != nil {
+		si := s.live.cfg.Ingester
+		fmt.Fprintf(w, "ngramsd_live_docs_total %d\n", si.Docs())
+		fmt.Fprintf(w, "ngramsd_live_pending_docs %d\n", si.Pending())
+		fmt.Fprintf(w, "ngramsd_live_sketch_bytes %d\n", si.Bytes())
+		fmt.Fprintf(w, "ngramsd_reconciles_total %d\n", s.live.reconciles.Load())
 	}
 	for _, name := range s.names {
 		h := s.handles[name]

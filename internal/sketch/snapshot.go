@@ -1,0 +1,481 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+)
+
+// Snapshot is an immutable copy of a Group: the queryable unit the
+// StreamIngester publishes, and the unit of persistence and merging.
+//
+// The on-disk format reuses the framing conventions of the shuffle run
+// format (internal/extsort): varint-framed sections, each carrying a
+// CRC-32C of its payload, counters varint-encoded (an idle sketch is
+// mostly zeros, so snapshots are far smaller than the resident
+// counters), and a trailing version byte plus magic. Truncation or
+// corruption anywhere surfaces as ErrCorruptSnapshot, never as silently
+// wrong counts:
+//
+//	snapshot := magic "NGSKSNAP" meta row* top trailer
+//	meta     := section( u64le(bits ε) u64le(bits δ)
+//	            uvarint(orders) uvarint(topk) uvarint(width)
+//	            uvarint(depth) uvarint(docs) uvarint(n)^orders )
+//	row      := section( uvarint-counters × width ), one per
+//	            (order, row), order-major
+//	top      := section( uvarint(entries)
+//	            { uvarint(order) uvarint(len) key uvarint(est) }* )
+//	section  := uvarint(len) u32le(crc32c(payload)) payload
+//	trailer  := byte(version=1) "NGSK1"
+type Snapshot struct {
+	params Params
+	width  int
+	depth  int
+	cells  [][]uint64 // per order, row-major width×depth counters
+	ns     []int64    // per order: total occurrences counted
+	docs   int64
+	top    []Entry
+}
+
+// ErrCorruptSnapshot is wrapped by every error the snapshot reader
+// reports for malformed, truncated, or checksum-failing data.
+var ErrCorruptSnapshot = errors.New("sketch: corrupt snapshot")
+
+const (
+	snapshotMagic   = "NGSKSNAP"
+	snapshotTrailer = "NGSK1"
+	snapshotVersion = 1
+
+	// maxSectionLen bounds one section's payload; the largest real
+	// section is a row of width varint counters (≤ 10 bytes each).
+	maxSectionLen = 128 << 20
+	maxOrders     = 64
+	maxDepth      = 64
+	maxTopEntries = 1 << 20
+	maxKeyLen     = 1 << 16
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EmptySnapshot returns a zero-count snapshot with p's geometry — the
+// published view of an ingester before its first document.
+func EmptySnapshot(p Params) *Snapshot {
+	p = p.WithDefaults()
+	sn := &Snapshot{
+		params: p,
+		width:  p.Width(),
+		depth:  p.Depth(),
+		cells:  make([][]uint64, p.Orders),
+		ns:     make([]int64, p.Orders),
+	}
+	for i := range sn.cells {
+		sn.cells[i] = make([]uint64, sn.width*sn.depth)
+	}
+	return sn
+}
+
+// Params returns the snapshot's parameters.
+func (sn *Snapshot) Params() Params { return sn.params }
+
+// Docs returns the number of documents the snapshot covers.
+func (sn *Snapshot) Docs() int64 { return sn.docs }
+
+// N returns the total occurrences counted at the given order.
+func (sn *Snapshot) N(order int) int64 {
+	if order < 1 || order > len(sn.ns) {
+		return 0
+	}
+	return sn.ns[order-1]
+}
+
+// Bytes returns the resident counter memory of the snapshot.
+func (sn *Snapshot) Bytes() int64 {
+	var b int64
+	for _, c := range sn.cells {
+		b += int64(len(c)) * 8
+	}
+	return b
+}
+
+// ErrorBound returns ceil(ε·N) for the given order: with probability
+// 1−δ, an estimate at this order exceeds the true count by no more.
+func (sn *Snapshot) ErrorBound(order int) int64 {
+	return int64(math.Ceil(sn.params.Epsilon * float64(sn.N(order))))
+}
+
+// Estimate returns the estimated count of an order-length key, and
+// false for orders outside the sketched range.
+func (sn *Snapshot) Estimate(order int, key []byte) (int64, bool) {
+	if order < 1 || order > len(sn.cells) {
+		return 0, false
+	}
+	cells := sn.cells[order-1]
+	h1 := fnv64a(key)
+	h2 := splitmix64(h1) | 1
+	est := uint64(math.MaxUint64)
+	for row := 0; row < sn.depth; row++ {
+		idx := (h1 + uint64(row)*h2) % uint64(sn.width)
+		if v := cells[row*sn.width+int(idx)]; v < est {
+			est = v
+		}
+	}
+	return int64(est), true
+}
+
+// Top returns up to k heavy hitters, largest estimate first. k <= 0
+// returns all tracked.
+func (sn *Snapshot) Top(k int) []Entry {
+	out := append([]Entry(nil), sn.top...)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Merge folds o into sn by element-wise counter addition — sound
+// because the sum of per-snapshot one-sided estimates is one-sided for
+// the combined stream. Heavy hitters are re-scored against the merged
+// counters. The snapshots must share parameters.
+func (sn *Snapshot) Merge(o *Snapshot) error {
+	if sn.params != o.params {
+		return fmt.Errorf("sketch: merge of incompatible snapshots (%+v vs %+v)", sn.params, o.params)
+	}
+	for i := range sn.cells {
+		a, b := sn.cells[i], o.cells[i]
+		for j := range a {
+			a[j] += b[j]
+		}
+		sn.ns[i] += o.ns[i]
+	}
+	sn.docs += o.docs
+
+	seen := make(map[string]Entry, len(sn.top)+len(o.top))
+	for _, e := range append(append([]Entry(nil), sn.top...), o.top...) {
+		if _, dup := seen[string(e.Key)]; dup {
+			continue
+		}
+		if est, ok := sn.Estimate(e.Order, e.Key); ok {
+			seen[string(e.Key)] = Entry{Key: e.Key, Order: e.Order, Estimate: est}
+		}
+	}
+	merged := make([]Entry, 0, len(seen))
+	for _, e := range seen {
+		merged = append(merged, e)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Estimate != merged[j].Estimate {
+			return merged[i].Estimate > merged[j].Estimate
+		}
+		return bytes.Compare(merged[i].Key, merged[j].Key) < 0
+	})
+	if len(merged) > sn.params.TopK {
+		merged = merged[:sn.params.TopK]
+	}
+	sn.top = merged
+	return nil
+}
+
+// writeSection writes one uvarint(len) + CRC-32C framed payload.
+func writeSection(w io.Writer, payload []byte) error {
+	var hdr [binary.MaxVarintLen64 + 4]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[n:], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:n+4]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// WriteTo persists the snapshot. The stream is self-contained: a later
+// ReadSnapshot (in any process) reproduces identical estimates.
+func (sn *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	if _, err := cw.Write([]byte(snapshotMagic)); err != nil {
+		return cw.n, err
+	}
+
+	meta := make([]byte, 0, 64+8*len(sn.ns))
+	meta = binary.LittleEndian.AppendUint64(meta, math.Float64bits(sn.params.Epsilon))
+	meta = binary.LittleEndian.AppendUint64(meta, math.Float64bits(sn.params.Delta))
+	meta = binary.AppendUvarint(meta, uint64(sn.params.Orders))
+	meta = binary.AppendUvarint(meta, uint64(sn.params.TopK))
+	meta = binary.AppendUvarint(meta, uint64(sn.width))
+	meta = binary.AppendUvarint(meta, uint64(sn.depth))
+	meta = binary.AppendUvarint(meta, uint64(sn.docs))
+	for _, n := range sn.ns {
+		meta = binary.AppendUvarint(meta, uint64(n))
+	}
+	if err := writeSection(cw, meta); err != nil {
+		return cw.n, err
+	}
+
+	row := make([]byte, 0, sn.width*2)
+	for _, cells := range sn.cells {
+		for r := 0; r < sn.depth; r++ {
+			row = row[:0]
+			for _, v := range cells[r*sn.width : (r+1)*sn.width] {
+				row = binary.AppendUvarint(row, v)
+			}
+			if err := writeSection(cw, row); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+
+	top := make([]byte, 0, 64)
+	top = binary.AppendUvarint(top, uint64(len(sn.top)))
+	for _, e := range sn.top {
+		top = binary.AppendUvarint(top, uint64(e.Order))
+		top = binary.AppendUvarint(top, uint64(len(e.Key)))
+		top = append(top, e.Key...)
+		top = binary.AppendUvarint(top, uint64(e.Estimate))
+	}
+	if err := writeSection(cw, top); err != nil {
+		return cw.n, err
+	}
+
+	if _, err := cw.Write([]byte{snapshotVersion}); err != nil {
+		return cw.n, err
+	}
+	_, err := cw.Write([]byte(snapshotTrailer))
+	return cw.n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+type snapshotReader struct {
+	r   io.Reader
+	br  io.ByteReader
+	buf bytes.Buffer
+}
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptSnapshot, fmt.Sprintf(format, args...))
+}
+
+// section reads the next framed payload and verifies its checksum. The
+// returned slice is valid until the next call.
+func (sr *snapshotReader) section() ([]byte, error) {
+	n, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return nil, corrupt("section length: %v", err)
+	}
+	if n > maxSectionLen {
+		return nil, corrupt("section of %d bytes exceeds limit", n)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(sr.r, crcBuf[:]); err != nil {
+		return nil, corrupt("section checksum: %v", err)
+	}
+	sr.buf.Reset()
+	// CopyN grows the buffer only as data actually arrives, so a lying
+	// length field cannot force a huge allocation.
+	if _, err := io.CopyN(&sr.buf, sr.r, int64(n)); err != nil {
+		return nil, corrupt("section payload: %v", err)
+	}
+	payload := sr.buf.Bytes()
+	if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(crcBuf[:]); got != want {
+		return nil, corrupt("section checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	return payload, nil
+}
+
+func uv(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, corrupt("bad varint")
+	}
+	return v, b[n:], nil
+}
+
+// ReadSnapshot reads a snapshot written by WriteTo. Malformed,
+// truncated, or checksum-failing input errors with ErrCorruptSnapshot.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio(r)
+	sr := &snapshotReader{r: br, br: br}
+
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != snapshotMagic {
+		return nil, corrupt("bad magic")
+	}
+
+	meta, err := sr.section()
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) < 16 {
+		return nil, corrupt("meta section of %d bytes", len(meta))
+	}
+	eps := math.Float64frombits(binary.LittleEndian.Uint64(meta))
+	delta := math.Float64frombits(binary.LittleEndian.Uint64(meta[8:]))
+	rest := meta[16:]
+	var orders, topk, width, depth, docs uint64
+	if orders, rest, err = uv(rest); err != nil {
+		return nil, err
+	}
+	if topk, rest, err = uv(rest); err != nil {
+		return nil, err
+	}
+	if width, rest, err = uv(rest); err != nil {
+		return nil, err
+	}
+	if depth, rest, err = uv(rest); err != nil {
+		return nil, err
+	}
+	if docs, rest, err = uv(rest); err != nil {
+		return nil, err
+	}
+	if !(eps > 0 && eps < 1) || !(delta > 0 && delta < 1) {
+		return nil, corrupt("parameters outside (0, 1): eps=%v delta=%v", eps, delta)
+	}
+	p := Params{Epsilon: eps, Delta: delta, Orders: int(orders), TopK: int(topk)}
+	if orders < 1 || orders > maxOrders || depth < 1 || depth > maxDepth ||
+		topk < 1 || topk > maxTopEntries {
+		return nil, corrupt("implausible geometry: orders=%d depth=%d topk=%d", orders, depth, topk)
+	}
+	if int(width) != p.Width() || int(depth) != p.Depth() {
+		return nil, corrupt("geometry %dx%d does not match parameters (want %dx%d)",
+			width, depth, p.Width(), p.Depth())
+	}
+	sn := &Snapshot{
+		params: p,
+		width:  int(width),
+		depth:  int(depth),
+		cells:  make([][]uint64, orders),
+		ns:     make([]int64, orders),
+		docs:   int64(docs),
+	}
+	for i := range sn.ns {
+		var n uint64
+		if n, rest, err = uv(rest); err != nil {
+			return nil, err
+		}
+		sn.ns[i] = int64(n)
+	}
+	if len(rest) != 0 {
+		return nil, corrupt("%d trailing meta bytes", len(rest))
+	}
+
+	for o := range sn.cells {
+		var cells []uint64
+		for r := 0; r < int(depth); r++ {
+			payload, err := sr.section()
+			if err != nil {
+				return nil, err
+			}
+			// Each counter is at least one varint byte, so a valid row
+			// payload is at least width bytes. Checking before the
+			// counter allocation bounds memory by actual input size,
+			// which keeps a lying header from forcing a huge make.
+			if uint64(len(payload)) < width {
+				return nil, corrupt("order %d row %d: %d payload bytes for width %d", o+1, r, len(payload), width)
+			}
+			if cells == nil {
+				cells = make([]uint64, int(width)*int(depth))
+			}
+			row := cells[r*int(width) : (r+1)*int(width)]
+			for i := range row {
+				var v uint64
+				if v, payload, err = uv(payload); err != nil {
+					return nil, corrupt("order %d row %d: truncated counters", o+1, r)
+				}
+				row[i] = v
+			}
+			if len(payload) != 0 {
+				return nil, corrupt("order %d row %d: %d trailing bytes", o+1, r, len(payload))
+			}
+		}
+		sn.cells[o] = cells
+	}
+
+	top, err := sr.section()
+	if err != nil {
+		return nil, err
+	}
+	var entries uint64
+	if entries, top, err = uv(top); err != nil {
+		return nil, err
+	}
+	if entries > maxTopEntries {
+		return nil, corrupt("%d top entries exceeds limit", entries)
+	}
+	sn.top = make([]Entry, 0, min(int(entries), 4096))
+	for i := uint64(0); i < entries; i++ {
+		var order, klen, est uint64
+		if order, top, err = uv(top); err != nil {
+			return nil, err
+		}
+		if klen, top, err = uv(top); err != nil {
+			return nil, err
+		}
+		if klen > maxKeyLen || uint64(len(top)) < klen {
+			return nil, corrupt("top entry key of %d bytes", klen)
+		}
+		key := append([]byte(nil), top[:klen]...)
+		top = top[klen:]
+		if est, top, err = uv(top); err != nil {
+			return nil, err
+		}
+		sn.top = append(sn.top, Entry{Key: key, Order: int(order), Estimate: int64(est)})
+	}
+	if len(top) != 0 {
+		return nil, corrupt("%d trailing top bytes", len(top))
+	}
+
+	tail := make([]byte, 1+len(snapshotTrailer))
+	if _, err := io.ReadFull(br, tail); err != nil {
+		return nil, corrupt("trailer: %v", err)
+	}
+	if tail[0] != snapshotVersion {
+		return nil, corrupt("unsupported version %d", tail[0])
+	}
+	if string(tail[1:]) != snapshotTrailer {
+		return nil, corrupt("bad trailer magic")
+	}
+	if n, err := br.Read(make([]byte, 1)); n != 0 || err != io.EOF {
+		return nil, corrupt("trailing garbage after trailer")
+	}
+	return sn, nil
+}
+
+// bufio wraps r with byte-reader buffering without importing the
+// package name into every call site.
+func bufio(r io.Reader) interface {
+	io.Reader
+	io.ByteReader
+} {
+	if br, ok := r.(interface {
+		io.Reader
+		io.ByteReader
+	}); ok {
+		return br
+	}
+	return &byteReader{r: r}
+}
+
+type byteReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	_, err := io.ReadFull(b.r, b.buf[:])
+	return b.buf[0], err
+}

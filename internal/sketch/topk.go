@@ -1,0 +1,121 @@
+package sketch
+
+import (
+	"bytes"
+	"container/heap"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Entry is one heavy hitter: a hashed n-gram key with its estimate at
+// the time it was last offered.
+type Entry struct {
+	Key      []byte
+	Order    int
+	Estimate int64
+}
+
+// TopK tracks the k keys with the largest estimates seen so far. The
+// hot path — an offer below the current k-th estimate while the heap is
+// full — is a single atomic load; only candidate heavy hitters take the
+// mutex.
+type TopK struct {
+	k int
+
+	// floor is the smallest estimate in a full heap: offers at or below
+	// it cannot change the contents and return without locking. Zero
+	// while the heap has room.
+	floor atomic.Int64
+
+	mu      sync.Mutex
+	entries map[string]*hhEntry
+	heap    hhHeap
+}
+
+type hhEntry struct {
+	key      []byte
+	order    int
+	estimate int64
+	idx      int // heap index
+}
+
+// NewTopK returns an empty tracker of the k largest estimates.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, entries: make(map[string]*hhEntry, k+1)}
+}
+
+// K returns the tracked capacity.
+func (t *TopK) K() int { return t.k }
+
+// Offer records that key's estimate is now est.
+func (t *TopK) Offer(key []byte, order int, est int64) {
+	if f := t.floor.Load(); f > 0 && est <= f {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[string(key)]; ok {
+		if est > e.estimate {
+			e.estimate = est
+			heap.Fix(&t.heap, e.idx)
+		}
+	} else {
+		if len(t.heap) >= t.k {
+			if est <= t.heap[0].estimate {
+				t.floor.Store(t.heap[0].estimate)
+				return
+			}
+			evicted := heap.Pop(&t.heap).(*hhEntry)
+			delete(t.entries, string(evicted.key))
+		}
+		e := &hhEntry{key: append([]byte(nil), key...), order: order, estimate: est}
+		t.entries[string(e.key)] = e
+		heap.Push(&t.heap, e)
+	}
+	if len(t.heap) >= t.k {
+		t.floor.Store(t.heap[0].estimate)
+	}
+}
+
+// Items returns up to k heavy hitters, largest estimate first (ties
+// break on the key bytes for determinism). k <= 0 returns all tracked.
+func (t *TopK) Items(k int) []Entry {
+	t.mu.Lock()
+	out := make([]Entry, len(t.heap))
+	for i, e := range t.heap {
+		out[i] = Entry{Key: e.key, Order: e.order, Estimate: e.estimate}
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimate != out[j].Estimate {
+			return out[i].Estimate > out[j].Estimate
+		}
+		return bytes.Compare(out[i].Key, out[j].Key) < 0
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// hhHeap is a min-heap on estimate, so the root is the eviction victim.
+type hhHeap []*hhEntry
+
+func (h hhHeap) Len() int           { return len(h) }
+func (h hhHeap) Less(i, j int) bool { return h[i].estimate < h[j].estimate }
+func (h hhHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *hhHeap) Push(x any)        { e := x.(*hhEntry); e.idx = len(*h); *h = append(*h, e) }
+func (h *hhHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*hhHeap)(nil)
