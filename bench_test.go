@@ -391,6 +391,49 @@ func BenchmarkPublicAPI(b *testing.B) {
 	}
 }
 
+// BenchmarkCorpusBuild measures the ingestion hot path — sentence
+// splitting, tokenization, and integer encoding fused into the
+// zero-allocation scanner — end to end through the public
+// CorpusBuilder. Bytes/op is raw input text consumed.
+func BenchmarkCorpusBuild(b *testing.B) {
+	// Deterministic Zipf-flavored text: word ranks cycle through a
+	// quadratic residue so frequent and rare words interleave, with
+	// sentence breaks and abbreviation-adjacent forms mixed in to
+	// exercise the scanner's boundary rules.
+	docs := make([]string, 200)
+	var total int64
+	for d := range docs {
+		var sb strings.Builder
+		for s := 0; s < 6; s++ {
+			n := 5 + (d+s)%17
+			for w := 0; w < n; w++ {
+				if w > 0 {
+					sb.WriteByte(' ')
+				}
+				r := (d*131 + s*17 + w*w) % 4000
+				sb.WriteString(synth.Word(r))
+			}
+			sb.WriteString(". ")
+		}
+		sb.WriteString("Dr. Smith paid $3.50 e.g. the fox didn't mind.\n")
+		docs[d] = sb.String()
+		total += int64(len(docs[d]))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := NewCorpusBuilder("bench", BuilderOptions{})
+		for _, text := range docs {
+			if err := builder.Add(Document{Text: text}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := builder.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // fig7Index persists the fig7 SUFFIX-σ result as an on-disk index (4
 // shards, 128 precomputed top records) and opens it for querying.
 func fig7Index(b *testing.B) *Index {

@@ -1,0 +1,128 @@
+// Command docslint enforces the repository's documentation contracts:
+//
+//   - Flag coverage: every flag a binary prints in its -h usage must be
+//     mentioned in README.md, so a new flag cannot ship undocumented.
+//   - Relative links: every markdown link in the given docs that points
+//     at a repository path must resolve to an existing file.
+//
+// CI's docs-lint job runs both checks:
+//
+//	go build -o /tmp/ngrams ./cmd/ngrams && go build -o /tmp/ngramsd ./cmd/ngramsd
+//	go run ./cmd/docslint -readme README.md -bins /tmp/ngrams,/tmp/ngramsd \
+//	    -links README.md,PERFORMANCE.md,doc.go
+//
+// Exit status is nonzero when any check fails, with one line per
+// finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// flagLine matches the first line of one flag's usage entry as printed
+// by the standard flag package: two spaces, a dash, the name.
+var flagLine = regexp.MustCompile(`(?m)^  -([A-Za-z][\w.-]*)`)
+
+// mdLink matches markdown inline links [text](target).
+var mdLink = regexp.MustCompile(`\[[^\]\n]*\]\(([^)\s]+)\)`)
+
+func main() {
+	readme := flag.String("readme", "README.md", "markdown file that must mention every binary flag")
+	bins := flag.String("bins", "", "comma-separated binaries whose -h flags must appear in -readme")
+	links := flag.String("links", "", "comma-separated docs whose relative markdown links must resolve")
+	flag.Parse()
+
+	var problems []string
+
+	if *bins != "" {
+		doc, err := os.ReadFile(*readme)
+		if err != nil {
+			fatalf("read %s: %v", *readme, err)
+		}
+		for _, bin := range splitList(*bins) {
+			for _, name := range binaryFlags(bin) {
+				// A documented flag appears as "-name" (prose, backticks,
+				// or an example command line).
+				if !strings.Contains(string(doc), "-"+name) {
+					problems = append(problems,
+						fmt.Sprintf("%s: flag -%s is not mentioned in %s", filepath.Base(bin), name, *readme))
+				}
+			}
+		}
+	}
+
+	for _, doc := range splitList(*links) {
+		problems = append(problems, checkLinks(doc)...)
+	}
+
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "docslint:", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("docslint: ok")
+}
+
+// binaryFlags runs bin -h and extracts the declared flag names.
+func binaryFlags(bin string) []string {
+	out, err := exec.Command(bin, "-h").CombinedOutput()
+	// The flag package exits 0 on -h, but be lenient: usage text is
+	// printed either way, and an empty flag list is the real failure.
+	names := flagLine.FindAllStringSubmatch(string(out), -1)
+	if len(names) == 0 {
+		fatalf("%s -h printed no flags (%v):\n%s", bin, err, out)
+	}
+	flags := make([]string, 0, len(names))
+	for _, m := range names {
+		flags = append(flags, m[1])
+	}
+	return flags
+}
+
+// checkLinks verifies every relative markdown link in doc resolves to
+// an existing file or directory, relative to the doc's own directory.
+func checkLinks(doc string) []string {
+	data, err := os.ReadFile(doc)
+	if err != nil {
+		fatalf("read %s: %v", doc, err)
+	}
+	var problems []string
+	for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if u, err := url.Parse(target); err == nil && u.Scheme != "" {
+			continue // absolute URL: out of scope
+		}
+		target, _, _ = strings.Cut(target, "#")
+		if target == "" {
+			continue // pure anchor
+		}
+		path := filepath.Join(filepath.Dir(doc), target)
+		if _, err := os.Stat(path); err != nil {
+			problems = append(problems, fmt.Sprintf("%s: broken relative link %q", doc, m[1]))
+		}
+	}
+	return problems
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "docslint: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -54,6 +54,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -71,6 +73,7 @@ func main() {
 
 	var specs []string
 	addr := flag.String("addr", ":8091", "listen address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof profiling endpoints on this separate address (e.g. localhost:6060; empty = disabled)")
 	cacheBlocks := flag.Int("cache-blocks", 0, "decoded-block cache size per index in blocks (0 = default 128, negative = disabled)")
 	watch := flag.Bool("watch", false, "watch index manifests and hot-swap to rewritten indexes automatically")
 	watchInterval := flag.Duration("watch-interval", time.Second, "manifest poll interval with -watch")
@@ -154,6 +157,24 @@ func main() {
 	defer srv.Close()
 	for _, name := range srv.Names() {
 		log.Printf("serving %q", name)
+	}
+
+	if *pprofAddr != "" {
+		// Profiling lives on its own listener so the endpoints are never
+		// reachable through the query address: bind -pprof to localhost
+		// (or a firewalled port) and the serving surface stays unchanged.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

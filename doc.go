@@ -161,6 +161,42 @@
 // true log-probabilities. This is what ngramsd -lm exposes over
 // /v1/lm/score and /v1/lm/predict.
 //
+// # Performance tuning
+//
+// The defaults are sized for a corpus that fits one machine
+// comfortably; four knobs cover most deviations from that:
+//
+//   - BuilderOptions.MemoryBudget bounds how many encoded documents the
+//     corpus builder keeps resident before spilling them to a temporary
+//     shard (default 256 MiB). Lower it under memory pressure — spilled
+//     documents cost one sequential write plus one sequential re-read
+//     at Finish, nothing more.
+//   - Options.ShuffleMemory bounds each map task's in-memory sort
+//     buffers; past it the largest buffer sorts, front-codes, and
+//     spills as a run file. Raising it means fewer, larger runs —
+//     less spill I/O in the map phase and a lower merge fan-in in the
+//     reduce phase. Raising it is the first lever when a job is
+//     disk-bound.
+//   - Options.MapSlots and Options.ReduceSlots set task parallelism
+//     (default GOMAXPROCS). More reduce slots also mean more
+//     partitions, so each reducer merges and aggregates less data.
+//     When reduce fan-in (runs per partition) reaches 8 and spare CPUs
+//     exist, the k-way merge itself additionally fans out across
+//     goroutines — automatic, byte-identical output.
+//   - Options.Codec selects the run-file compression. The default raw
+//     front-coding already removes most redundancy from sorted
+//     SUFFIX-σ keys; CodecFlate trades CPU for bytes and pays off
+//     mainly for NAÏVE/APRIORI value shapes or genuinely slow disks.
+//
+// On the serving side, ngramsd -cache-blocks (index.Options via the
+// library) sizes the per-index decoded-block LRU — raise it until the
+// hot key range stays resident (each block is ~64 KiB decoded); full
+// scans bypass the cache, so scans never evict the hot set.
+//
+// PERFORMANCE.md in the repository root walks the whole cost model —
+// map spill, seal, shuffle format, merge, index — with profiling
+// how-tos and the benchmark regression gate.
+//
 // # Quick start
 //
 //	builder := ngramstats.NewCorpusBuilder("demo", ngramstats.BuilderOptions{})

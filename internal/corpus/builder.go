@@ -66,6 +66,12 @@ type Builder struct {
 	spillW      *bufio.Writer
 	spilledDocs int
 
+	// Reusable per-Add scan state (see addSentences): the streaming
+	// tokenizer plus the document's flat term buffer and sentence ends.
+	scan     tokenScanner
+	termBuf  []sequence.Term
+	sentEnds []int
+
 	added    int64
 	finished bool
 }
@@ -92,6 +98,11 @@ func (b *Builder) SpilledDocs() int { return b.spilledDocs }
 // Add tokenizes, sentence-splits, and provisionally encodes one raw
 // document. When web is true the text passes the boilerplate filter
 // first. The raw text is not retained.
+//
+// The text streams through a single-pass tokenizer into reusable
+// buffers: beyond new-term strings, the only allocations are the
+// document's own encoded sentences (one term arena plus the sentence
+// headers), gated by TestAddAllocsPerDocument.
 func (b *Builder) Add(id int64, year int, text string, web bool) error {
 	if b.finished {
 		return errFinished
@@ -101,25 +112,23 @@ func (b *Builder) Add(id int64, year int, text string, web bool) error {
 	}
 	doc := Document{ID: id, Year: year}
 	bytes := 48 // struct + slice headers
-	for _, sent := range SplitSentences(text) {
-		toks := Tokenize(sent)
-		if len(toks) == 0 {
-			continue
+
+	b.termBuf = b.termBuf[:0]
+	b.sentEnds = b.sentEnds[:0]
+	b.scan.scan(text, (*builderSink)(b))
+
+	if len(b.sentEnds) > 0 {
+		// All sentences share one exact-size term arena; each sentence is
+		// a capacity-capped window into it.
+		arena := make(sequence.Seq, len(b.termBuf))
+		copy(arena, b.termBuf)
+		doc.Sentences = make([]sequence.Seq, len(b.sentEnds))
+		start := 0
+		for i, end := range b.sentEnds {
+			doc.Sentences[i] = arena[start:end:end]
+			bytes += 24 + 4*(end-start)
+			start = end
 		}
-		s := make(sequence.Seq, len(toks))
-		for i, tok := range toks {
-			tid, ok := b.ids[tok]
-			if !ok {
-				tid = sequence.Term(len(b.terms))
-				b.ids[tok] = tid
-				b.terms = append(b.terms, tok)
-				b.counts = append(b.counts, 0)
-			}
-			b.counts[tid]++
-			s[i] = tid
-		}
-		doc.Sentences = append(doc.Sentences, s)
-		bytes += 24 + 4*len(s)
 	}
 	b.docs = append(b.docs, doc)
 	b.buffered += bytes
@@ -128,6 +137,37 @@ func (b *Builder) Add(id int64, year int, text string, web bool) error {
 		return b.spillDocs()
 	}
 	return nil
+}
+
+// builderSink adapts the builder to the tokenizer's callback interface
+// without a per-Add closure allocation.
+type builderSink Builder
+
+func (s *builderSink) token(tok []byte) {
+	b := (*Builder)(s)
+	// b.ids[string(tok)] compiles to an allocation-free map lookup; the
+	// string is materialized only for a term's first occurrence.
+	tid, ok := b.ids[string(tok)]
+	if !ok {
+		term := string(tok)
+		tid = sequence.Term(len(b.terms))
+		b.ids[term] = tid
+		b.terms = append(b.terms, term)
+		b.counts = append(b.counts, 0)
+	}
+	b.counts[tid]++
+	b.termBuf = append(b.termBuf, tid)
+}
+
+func (s *builderSink) sentenceEnd() {
+	b := (*Builder)(s)
+	start := 0
+	if n := len(b.sentEnds); n > 0 {
+		start = b.sentEnds[n-1]
+	}
+	if len(b.termBuf) > start {
+		b.sentEnds = append(b.sentEnds, len(b.termBuf))
+	}
 }
 
 // spillDocs appends every buffered document to the spill shard and

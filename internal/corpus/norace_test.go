@@ -1,0 +1,5 @@
+//go:build !race
+
+package corpus
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package corpus
+
+// raceEnabled reports whether the race detector instruments this
+// build; allocation-count gates are skipped under it because the
+// instrumentation itself allocates.
+const raceEnabled = true

@@ -1,0 +1,116 @@
+package corpus
+
+import (
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenScanner streams the sentence/token structure of a document in a
+// single pass over the raw text, without allocating: no []rune
+// conversion of the text, no per-sentence strings, no per-token
+// strings. It produces exactly the token stream of
+//
+//	for _, sent := range SplitSentences(text) {
+//	    for _, tok := range Tokenize(sent) { ... }
+//	}
+//
+// (asserted by TestScannerMatchesSplitTokenize), which makes it the
+// allocation-free engine behind Builder.Add while SplitSentences and
+// Tokenize remain the string-returning public surface.
+//
+// The scratch buffers persist across scans, so one scanner reused for
+// a whole collection settles into zero steady-state allocations.
+type tokenScanner struct {
+	tok []byte // lowercased bytes of the token being built
+	wl  []byte // lowercased bytes of the letter/digit run ending at the cursor
+}
+
+// sentenceSink receives the scan's events. token's slice is reused
+// across calls and valid only during the call; sentenceEnd may fire
+// with no tokens since the previous one (an empty sentence).
+type sentenceSink interface {
+	token(tok []byte)
+	sentenceEnd()
+}
+
+// scan streams text's tokens and sentence boundaries into sink.
+func (sc *tokenScanner) scan(text string, sink sentenceSink) {
+	sc.tok = sc.tok[:0]
+	sc.wl = sc.wl[:0]
+	prevLetter := false
+	var prev rune = -1 // previous rune; -1 at start of text
+	for i := 0; i < len(text); {
+		r, sz := utf8.DecodeRuneInString(text[i:])
+		next, nextOK := rune(0), i+sz < len(text)
+		if nextOK {
+			next, _ = utf8.DecodeRuneInString(text[i+sz:])
+		}
+		isAlnum := unicode.IsLetter(r) || unicode.IsDigit(r)
+		var lower rune
+
+		// Tokenize's per-rune state machine (text.go), with the sentence
+		// boundary char hitting the flush branch like any separator.
+		switch {
+		case isAlnum:
+			lower = unicode.ToLower(r)
+			sc.tok = utf8.AppendRune(sc.tok, lower)
+			prevLetter = true
+		case r == '\'' && prevLetter && nextOK &&
+			(unicode.IsLetter(next) || unicode.IsDigit(next)):
+			sc.tok = utf8.AppendRune(sc.tok, r)
+		default:
+			sc.flushToken(sink)
+			prevLetter = false
+		}
+
+		// SplitSentences' boundary rules. The letter/digit run ending at
+		// the cursor (sc.wl) still excludes r here, so at a '.' it is
+		// exactly the word isSentenceEnd inspects.
+		switch r {
+		case '\n', '!', '?':
+			sink.sentenceEnd()
+		case '.':
+			if sc.dotEndsSentence(prev, next, nextOK) {
+				sink.sentenceEnd()
+			}
+		}
+
+		if isAlnum {
+			sc.wl = utf8.AppendRune(sc.wl, lower)
+		} else {
+			sc.wl = sc.wl[:0]
+		}
+		prev = r
+		i += sz
+	}
+	sc.flushToken(sink)
+	sink.sentenceEnd()
+}
+
+func (sc *tokenScanner) flushToken(sink sentenceSink) {
+	if len(sc.tok) > 0 {
+		sink.token(sc.tok)
+		sc.tok = sc.tok[:0]
+	}
+}
+
+// dotEndsSentence is isSentenceEnd (text.go) restated over streaming
+// state: prev/next are the runes around the period (-1 / !nextOK when
+// absent) and sc.wl holds the lowercased letter/digit run before it.
+func (sc *tokenScanner) dotEndsSentence(prev, next rune, nextOK bool) bool {
+	// A period inside a number ("3.14") is not an end.
+	if nextOK && unicode.IsDigit(next) && prev >= 0 && unicode.IsDigit(prev) {
+		return false
+	}
+	// Must be followed by whitespace or end of text.
+	if nextOK && !unicode.IsSpace(next) {
+		return false
+	}
+	if len(sc.wl) == 1 && unicode.IsLetter(rune(sc.wl[0])) {
+		return false // initials: "J. Smith"
+	}
+	if abbreviations[string(sc.wl)] {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// testSink collects scan output as per-sentence token slices, dropping
+// empty sentences the way Builder.Add does.
+type testSink struct {
+	sents [][]string
+	cur   []string
+}
+
+func (s *testSink) token(tok []byte) { s.cur = append(s.cur, string(tok)) }
+func (s *testSink) sentenceEnd() {
+	if len(s.cur) > 0 {
+		s.sents = append(s.sents, s.cur)
+		s.cur = nil
+	}
+}
+
+// splitTokenize is the reference composition the scanner must match.
+func splitTokenize(text string) [][]string {
+	var out [][]string
+	for _, sent := range SplitSentences(text) {
+		if toks := Tokenize(sent); len(toks) > 0 {
+			out = append(out, toks)
+		}
+	}
+	return out
+}
+
+// TestScannerMatchesSplitTokenize pins the streaming scanner to the
+// SplitSentences+Tokenize composition on hand-picked boundary cases and
+// on randomized text over an adversarial alphabet.
+func TestScannerMatchesSplitTokenize(t *testing.T) {
+	cases := []string{
+		"",
+		"Hello world. Second sentence!",
+		"Dr. Smith met Mr. Jones at 3.14 o'clock.",
+		"J. Smith and A. B. Chandler vs. the world",
+		"don't can't won't 'quoted' trailing'",
+		"a''b c'' 'x' ''",
+		"no.split here.x but yes. Here",
+		"digits 1.2 3.x 4. 5",
+		"multi\nline\n\ntext! with? breaks.",
+		"Ünïcode Ärger ÉTÉ σίγμα ΣΊΓΜΑ.",
+		"Kelvin \u212A. sign",
+		"abbrev etc. etc.. fig. 3 inc. Co. co.",
+		"trailing period.",
+		"trailing letter a.",
+		"  leading spaces. \t tabs\tand:::punct;;;",
+		"\xff invalid \xfe utf8 \xc3( bytes",
+		"e.g.x y.z.w...",
+		"100% of $5.00, £3 (net)",
+	}
+	for i, text := range cases {
+		sink := &testSink{}
+		var sc tokenScanner
+		sc.scan(text, sink)
+		sink.sentenceEnd()
+		want := splitTokenize(text)
+		if fmt.Sprint(sink.sents) != fmt.Sprint(want) {
+			t.Errorf("case %d %q:\nscanner %v\nwant    %v", i, text, sink.sents, want)
+		}
+	}
+
+	// Randomized differential check over an alphabet dense in the
+	// characters the boundary rules react to.
+	alphabet := []string{
+		"a", "b", "Z", "é", "σ", "1", "9", ".", "!", "?", "'", "\n",
+		" ", "\t", "|", "e", "t", "c", "d", "r", "j", "\u212A", "\xff",
+	}
+	rng := rand.New(rand.NewSource(11))
+	var sc tokenScanner // reused across iterations: scratch must not leak state
+	for i := 0; i < 500; i++ {
+		var sb strings.Builder
+		for j := rng.Intn(60); j > 0; j-- {
+			sb.WriteString(alphabet[rng.Intn(len(alphabet))])
+		}
+		text := sb.String()
+		sink := &testSink{}
+		sc.scan(text, sink)
+		sink.sentenceEnd()
+		want := splitTokenize(text)
+		if fmt.Sprint(sink.sents) != fmt.Sprint(want) {
+			t.Fatalf("random case %d %q:\nscanner %v\nwant    %v", i, text, sink.sents, want)
+		}
+	}
+}
+
+// TestAddAllocsPerDocument gates the builder's per-document allocation
+// count on the steady state (all terms already known): one term arena,
+// one sentence-header slice, and amortized growth of b.docs — nothing
+// per token or per sentence.
+func TestAddAllocsPerDocument(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	text := "The quick brown fox jumps over the lazy dog. " +
+		"Pack my box with five dozen liquor jugs! " +
+		"How vexingly quick daft zebras jump? " +
+		"The five boxing wizards jump quickly."
+	b := NewBuilder("allocs", BuilderOptions{MemoryBudget: 1 << 30})
+	defer b.Discard()
+	if err := b.Add(0, 2000, text, false); err != nil {
+		t.Fatal(err)
+	}
+	id := int64(1)
+	avg := testing.AllocsPerRun(200, func() {
+		if err := b.Add(id, 2000, text, false); err != nil {
+			t.Fatal(err)
+		}
+		id++
+	})
+	// 3 = term arena + Sentences headers + amortized b.docs growth.
+	if avg > 4 {
+		t.Fatalf("Builder.Add allocates %.1f times per document, want <= 4", avg)
+	}
+}

@@ -118,6 +118,26 @@ func FirstTerm(b []byte) (sequence.Term, error) {
 // a time and compared numerically; a shorter sequence that is a prefix
 // of the other sorts first.
 func CompareSeqBytes(a, b []byte) int {
+	// Fast path: term identifiers are frequency-ranked, so the vast
+	// majority encode as single-byte varints (< 0x80), which compare
+	// numerically exactly as raw bytes. Walk those without the varint
+	// decode; both slices stay aligned on varint starts, so the general
+	// loop below picks up correctly at the first multi-byte lead.
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i]|b[i] < 0x80 {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+		i++
+	}
+	a, b = a[i:], b[i:]
 	for {
 		switch {
 		case len(a) == 0 && len(b) == 0:
@@ -150,6 +170,24 @@ func CompareSeqBytes(a, b []byte) int {
 // This is the raw-bytes form of sequence.CompareReverseLex and is used
 // as the SUFFIX-σ shuffle comparator.
 func CompareSeqBytesReverse(a, b []byte) int {
+	// Same single-byte fast path as CompareSeqBytes, with the comparison
+	// inverted (descending term order). The prefix rule only matters once
+	// one side is exhausted, which the general loop below handles.
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i]|b[i] < 0x80 {
+		if a[i] != b[i] {
+			if a[i] > b[i] {
+				return -1
+			}
+			return 1
+		}
+		i++
+	}
+	a, b = a[i:], b[i:]
 	for {
 		switch {
 		case len(a) == 0 && len(b) == 0:

@@ -52,6 +52,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 )
 
@@ -164,11 +165,32 @@ type runWriter struct {
 	scratch  []byte
 }
 
+// blockBufPool recycles block payload buffers (~runBlockTarget bytes
+// each) across run writers: every spill, seal, and index shard write
+// creates a writer, and the payload buffer is its only large
+// allocation.
+var blockBufPool sync.Pool // *[]byte
+
+func getBlockBuf() []byte {
+	if p, _ := blockBufPool.Get().(*[]byte); p != nil {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+func putBlockBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	blockBufPool.Put(&b)
+}
+
 func newRunWriter(w io.Writer, codec Codec, blockSize int) *runWriter {
 	if blockSize <= 0 {
 		blockSize = runBlockTarget
 	}
-	return &runWriter{w: w, codec: codec, blockSize: blockSize}
+	return &runWriter{w: w, codec: codec, blockSize: blockSize, buf: getBlockBuf()}
 }
 
 func sharedPrefix(a, b []byte) int {
@@ -327,6 +349,8 @@ func (rw *runWriter) finish() (int64, error) {
 	if _, err := rw.w.Write(tr[:]); err != nil {
 		return 0, err
 	}
+	putBlockBuf(rw.buf)
+	rw.buf = nil
 	return int64(indexOff) + int64(len(idx)) + runTrailerSize, nil
 }
 
@@ -427,8 +451,9 @@ type blockDecoder struct {
 	key     []byte // current key, reused across records
 	val     []byte
 
-	rawBuf []byte // reusable decompression buffer
-	flateR io.ReadCloser
+	rawBuf  []byte // reusable decompression buffer
+	payload bytes.Reader
+	flateR  io.ReadCloser
 }
 
 // reset points the decoder at one block region (header ‖ payload),
@@ -477,9 +502,10 @@ func (d *blockDecoder) reset(region []byte) error {
 			d.rawBuf = make([]byte, rawLen)
 		}
 		d.rawBuf = d.rawBuf[:rawLen]
+		d.payload.Reset(payload)
 		if d.flateR == nil {
-			d.flateR = flate.NewReader(bytes.NewReader(payload))
-		} else if err := d.flateR.(flate.Resetter).Reset(bytes.NewReader(payload), nil); err != nil {
+			d.flateR = flate.NewReader(&d.payload)
+		} else if err := d.flateR.(flate.Resetter).Reset(&d.payload, nil); err != nil {
 			return corruptf("reset flate reader: %v", err)
 		}
 		if _, err := io.ReadFull(d.flateR, d.rawBuf); err != nil {

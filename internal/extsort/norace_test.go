@@ -1,0 +1,5 @@
+//go:build !race
+
+package extsort
+
+const raceEnabled = false

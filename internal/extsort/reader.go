@@ -16,6 +16,7 @@ package extsort
 import (
 	"io"
 	"sort"
+	"sync"
 )
 
 // RunWriter encodes records into a complete run in the block-framed run
@@ -120,11 +121,71 @@ func (r *RunReader) ReadBlock(i int) (*DecodedBlock, error) {
 	if err != nil {
 		return nil, corruptf("read block %d region [%d,%d): %v", i, start, end, err)
 	}
-	var dec blockDecoder
+	return decodeBlockRegion(region)
+}
+
+// ReadBlocks fetches and decodes blocks [lo, hi) with one region read:
+// the contiguous byte range covering every requested block is fetched
+// in a single ReadAtFunc call, then each block's CRC-32C is verified
+// and its records decoded in one pass over that buffer. Sequential
+// consumers (full index scans, top-record preload) use it to replace
+// per-block pread calls with one syscall per batch. The returned
+// blocks are immutable and safe to share across goroutines.
+func (r *RunReader) ReadBlocks(lo, hi int) ([]*DecodedBlock, error) {
+	if lo < 0 || hi > len(r.footer.blocks) || lo > hi {
+		return nil, corruptf("block range [%d,%d) out of range [0,%d)", lo, hi, len(r.footer.blocks))
+	}
+	if lo == hi {
+		return nil, nil
+	}
+	start := r.footer.blocks[lo].offset
+	end := r.footer.blockEnd(hi - 1)
+	region, err := r.readAt(int64(start), int(end-start))
+	if err != nil {
+		return nil, corruptf("read block region [%d,%d): %v", start, end, err)
+	}
+	out := make([]*DecodedBlock, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		s := r.footer.blocks[i].offset - start
+		e := r.footer.blockEnd(i) - start
+		if e > uint64(len(region)) {
+			return nil, corruptf("block %d region [%d,%d) overruns %d-byte read", i, s, e, len(region))
+		}
+		blk, err := decodeBlockRegion(region[s:e:e])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk)
+	}
+	return out, nil
+}
+
+// blockDecPool recycles blockDecoder state — key scratch, flate reader,
+// decompression buffer — across ReadBlock calls, which otherwise pay
+// those allocations on every cache miss of the index read path.
+var blockDecPool = sync.Pool{New: func() any { return new(blockDecoder) }}
+
+// decodeBlockRegion decodes one block region (header ‖ payload) into a
+// fresh immutable DecodedBlock using pooled decoder state.
+func decodeBlockRegion(region []byte) (*DecodedBlock, error) {
+	dec := blockDecPool.Get().(*blockDecoder)
+	defer func() {
+		// Drop references into the caller's region; keep the reusable
+		// scratch (key buffer, rawBuf, flate reader).
+		dec.raw = nil
+		dec.val = nil
+		blockDecPool.Put(dec)
+	}()
 	if err := dec.reset(region); err != nil {
 		return nil, err
 	}
-	b := &DecodedBlock{}
+	// The header gives the record count exactly; the arena needs at
+	// least the raw payload size (front-coding only shrinks), so both
+	// start presized and at most the arena grows a step or two.
+	b := &DecodedBlock{
+		arena: make([]byte, 0, len(dec.raw)),
+		recs:  make([]recSpan, 0, dec.remain),
+	}
 	for {
 		ok, err := dec.next()
 		if err != nil {
@@ -137,9 +198,6 @@ func (r *RunReader) ReadBlock(i int) (*DecodedBlock, error) {
 		b.arena = append(b.arena, dec.key...)
 		b.arena = append(b.arena, dec.val...)
 		b.recs = append(b.recs, recSpan{keyOff: ko, keyLen: len(dec.key), valLen: len(dec.val)})
-	}
-	if dec.flateR != nil {
-		dec.flateR.Close()
 	}
 	return b, nil
 }

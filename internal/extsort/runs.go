@@ -2,7 +2,6 @@ package extsort
 
 import (
 	"bytes"
-	"container/heap"
 	"fmt"
 	"os"
 )
@@ -152,12 +151,24 @@ func MergeRuns(cmp Compare, runs []*Run) (*Iterator, error) {
 // skip whole blocks outside the range, so a reader that needs one key
 // range of a large spilled run decodes only the blocks that can
 // contain it.
+//
+// When the fan-in is large and more than one CPU is available, the
+// merge splits its inputs across goroutines (see parallel.go); the
+// record stream is byte-identical either way.
 func MergeRunsRange(cmp Compare, runs []*Run, lo, hi []byte) (*Iterator, error) {
 	if cmp == nil {
 		cmp = defaultCompare
 	}
+	if g := mergeGroups(len(runs)); g > 1 {
+		return mergeRunsParallel(cmp, runs, lo, hi, g)
+	}
+	return mergeRunsSequential(cmp, runs, lo, hi)
+}
+
+// mergeRunsSequential opens every run in the calling goroutine and
+// merges them through one loser tree.
+func mergeRunsSequential(cmp Compare, runs []*Run, lo, hi []byte) (*Iterator, error) {
 	it := &Iterator{cmp: cmp}
-	it.h.cmp = cmp
 	for i, r := range runs {
 		src, err := r.source(cmp, lo, hi)
 		if err != nil {
@@ -185,7 +196,7 @@ func MergeRunsRange(cmp Compare, runs []*Run, lo, hi []byte) (*Iterator, error) 
 			return nil, err
 		}
 		if ok {
-			heap.Push(&it.h, &heapEntry{src: src, order: i})
+			it.addSource(src)
 		} else {
 			src.close()
 		}

@@ -242,13 +242,14 @@ func (ix *Index) loadTop() error {
 	if rr.Records() != ti.Records {
 		return corruptf("top records file holds %d records, manifest declares %d", rr.Records(), ti.Records)
 	}
-	// Merge the blocks into one, preserving order.
+	// Merge the blocks into one, preserving order. One batched read
+	// covers the whole file (a handful of blocks at most).
+	blks, err := rr.ReadBlocks(0, rr.NumBlocks())
+	if err != nil {
+		return fmt.Errorf("index: read top records: %w", err)
+	}
 	merged := &extsort.DecodedBlock{}
-	for b := 0; b < rr.NumBlocks(); b++ {
-		blk, err := rr.ReadBlock(b)
-		if err != nil {
-			return fmt.Errorf("index: read top records: %w", err)
-		}
+	for _, blk := range blks {
 		for i := 0; i < blk.Len(); i++ {
 			merged.Append(blk.Key(i), blk.Value(i))
 		}
@@ -448,6 +449,9 @@ func (ix *Index) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
 	}
 	defer ix.release()
 	useCache := lo != nil || hi != nil
+	if !useCache {
+		return ix.scanAll(fn)
+	}
 	s := 0
 	if lo != nil {
 		s = sort.Search(len(ix.shards), func(i int) bool {
@@ -486,6 +490,41 @@ func (ix *Index) Scan(lo, hi []byte, fn func(key, value []byte) error) error {
 						return nil
 					}
 					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// scanBatchBlocks bounds one batched region read of an unbounded scan
+// (~16 × 64 KiB ≈ 1 MiB encoded per syscall).
+const scanBatchBlocks = 16
+
+// scanAll is the unbounded-scan fast path: every block of every shard
+// is visited, so blocks are fetched in batched region reads — one
+// pread and one contiguous CRC pass per scanBatchBlocks — bypassing
+// the cache so a full pass cannot evict the hot set.
+func (ix *Index) scanAll(fn func(key, value []byte) error) error {
+	for _, sh := range ix.shards {
+		n := sh.rr.NumBlocks()
+		for b := 0; b < n; b += scanBatchBlocks {
+			end := b + scanBatchBlocks
+			if end > n {
+				end = n
+			}
+			blks, err := sh.rr.ReadBlocks(b, end)
+			if err != nil {
+				return err
+			}
+			for _, blk := range blks {
+				for i := 0; i < blk.Len(); i++ {
+					if err := fn(blk.Key(i), blk.Value(i)); err != nil {
+						if errors.Is(err, errStopScan) {
+							return nil
+						}
+						return err
+					}
 				}
 			}
 		}
