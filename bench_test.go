@@ -16,6 +16,8 @@ package ngramstats
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -509,4 +511,139 @@ func BenchmarkIndexTopK(b *testing.B) {
 			}
 		}
 	})
+}
+
+// lsmBenchBatches generates five deterministic document batches over a
+// shared skewed vocabulary, so delta generations genuinely overlap the
+// base's key space (the case merge-on-read has to fold).
+func lsmBenchBatches() [][]Document {
+	rng := rand.New(rand.NewSource(43))
+	vocab := make([]string, 300)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%03d", i)
+	}
+	batches := make([][]Document, 5)
+	for bi := range batches {
+		docs := make([]Document, 80)
+		for d := range docs {
+			var sb strings.Builder
+			for s := 0; s < 5; s++ {
+				for w := 0; w < 8; w++ {
+					// Squaring skews toward low identifiers: frequent terms
+					// shared across every batch.
+					f := rng.Float64()
+					sb.WriteString(vocab[int(f*f*float64(len(vocab)))])
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(". ")
+			}
+			docs[d] = Document{Text: sb.String(), Year: 2000 + bi}
+		}
+		batches[bi] = docs
+	}
+	return batches
+}
+
+// lsmBenchChain builds the benchmark chain — one base plus 4 delta
+// generations, τ = 1 (the appendable invariant) — and returns its
+// directory.
+func lsmBenchChain(b *testing.B) string {
+	b.Helper()
+	batches := lsmBenchBatches()
+	dir := filepath.Join(b.TempDir(), "chain")
+	c, err := FromDocuments(context.Background(), "lsm-bench",
+		func(yield func(Document, error) bool) {
+			for _, d := range batches[0] {
+				if !yield(d, nil) {
+					return
+				}
+			}
+		}, BuilderOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Count(context.Background(), c, Options{
+		MinFrequency: 1, MaxLength: 4, Combiner: true, TempDir: b.TempDir(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := res.SaveWith(dir, SaveOptions{TempDir: b.TempDir()}); err != nil {
+		b.Fatal(err)
+	}
+	res.Release()
+	for _, batch := range batches[1:] {
+		if _, err := AppendDelta(context.Background(), dir, batch, AppendOptions{
+			Count: Options{Combiner: true, TempDir: b.TempDir()},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// BenchmarkViewLookup measures the merge-on-read point lookup across a
+// chain of 1 base + 4 deltas: one block probe per generation plus the
+// cross-generation aggregate fold — the read cost compaction buys
+// back (compare BenchmarkIndexLookup). The phrase mix is 64 frequent
+// phrases plus one guaranteed miss, as in BenchmarkIndexLookup.
+func BenchmarkViewLookup(b *testing.B) {
+	dir := lsmBenchChain(b)
+	ix, err := OpenIndex(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ix.Close() })
+	top, err := ix.TopK(64)
+	if err != nil || len(top) == 0 {
+		b.Fatalf("TopK: %v (%d)", err, len(top))
+	}
+	phrases := make([]string, 0, len(top)+1)
+	for _, ng := range top {
+		phrases = append(phrases, ng.Text)
+	}
+	phrases = append(phrases, "xylophone zzyzx")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := phrases[i%len(phrases)]
+		_, ok, err := ix.Lookup(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok && p != "xylophone zzyzx" {
+			b.Fatalf("Lookup(%q) missed", p)
+		}
+	}
+}
+
+// BenchmarkCompact measures the compaction merge itself: one
+// streaming pass over all 5 generations' sorted runs into a fresh
+// base. Each iteration compacts a pristine copy of the chain.
+func BenchmarkCompact(b *testing.B) {
+	pristine := lsmBenchChain(b)
+	scratch := b.TempDir()
+	var records int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := filepath.Join(scratch, fmt.Sprintf("run-%d", i))
+		if err := os.CopyFS(dir, os.DirFS(pristine)); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		stats, err := CompactIndex(dir, CompactOptions{TempDir: b.TempDir()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !stats.Compacted {
+			b.Fatal("nothing compacted")
+		}
+		records = stats.Records
+		b.StopTimer()
+		os.RemoveAll(dir)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(records), "records/op")
 }

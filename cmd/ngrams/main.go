@@ -39,6 +39,17 @@
 // one-sided estimates with a stated eps*N error bound:
 //
 //	ngrams -sketch -eps 1e-4 -delta 0.01 -sigma 3 -top 20 books/*.txt
+//
+// A saved index (computed with -tau 1 and no -maximal/-closed) can grow
+// incrementally: -append runs the exact job over only the new input and
+// links it to the index as a delta generation, -compact merges base and
+// deltas back into one index byte-identical to a full rebuild, and
+// -open dumps any saved index or chain deterministically:
+//
+//	ngrams -tau 1 -sigma 3 -save /data/idx batch1/*.txt
+//	ngrams -append /data/idx batch2/*.txt
+//	ngrams -open /data/idx
+//	ngrams -compact /data/idx
 package main
 
 import (
@@ -49,6 +60,7 @@ import (
 	"iter"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -79,6 +91,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "max concurrent worker processes with a worker-based -runner (0 = backend default)")
 		retries  = flag.Int("retries", 0, "per-task attempt budget with a worker-based -runner (0 = default of 2)")
 		connect  = flag.String("worker-connect", "", "run as a net worker for the coordinator at this address (host:port) until interrupted; no input is read")
+		appendTo = flag.String("append", "", "append the input documents to the saved index in this directory as a delta generation (exact job over only the new documents)")
+		compact  = flag.String("compact", "", "merge the saved index chain in this directory (base + deltas) into a single base index and exit")
+		open     = flag.String("open", "", "dump every n-gram of the saved index or chain in this directory to stdout, deterministically ordered, and exit")
 		sketch   = flag.Bool("sketch", false, "one-pass approximate mode: count-min sketch instead of the exact MapReduce job")
 		eps      = flag.Float64("eps", 0, "with -sketch: estimates exceed true counts by at most eps*N (0 = default 1e-4)")
 		delta    = flag.Float64("delta", 0, "with -sketch: the eps*N bound holds per key with probability 1-delta (0 = default 0.01)")
@@ -93,6 +108,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ngrams: worker serving coordinator %s; interrupt to stop\n", *connect)
 		if err := mapreduce.RunNetWorker(wctx, *connect); err != nil {
 			fmt.Fprintln(os.Stderr, "ngrams: worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *open != "" {
+		if err := dumpIndex(*open); err != nil {
+			fmt.Fprintln(os.Stderr, "ngrams:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *compact != "" {
+		if err := compactRun(*compact); err != nil {
+			fmt.Fprintln(os.Stderr, "ngrams:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *appendTo != "" {
+		err := appendRun(ctx, *appendTo, documents(flag.Args(), *web), ngramstats.AppendOptions{
+			Count: ngramstats.Options{
+				Method:         ngramstats.Method(*method),
+				Combiner:       *combine,
+				DocumentSplits: *docsplit,
+				Execution: ngramstats.Execution{
+					Runner:      *runner,
+					Workers:     *workers,
+					MaxAttempts: *retries,
+				},
+			},
+			Builder: ngramstats.BuilderOptions{MemoryBudget: *mem << 20},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ngrams:", err)
 			os.Exit(1)
 		}
 		return
@@ -209,6 +259,86 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// appendRun is the -append mode: the exact job runs over only the new
+// documents and the result links to the existing index as a delta
+// generation. τ, σ, selection, and aggregation come from the chain,
+// not from flags.
+func appendRun(ctx context.Context, dir string, docs iter.Seq2[ngramstats.Document, error], opts ngramstats.AppendOptions) error {
+	var batch []ngramstats.Document
+	for doc, err := range docs {
+		if err != nil {
+			return err
+		}
+		batch = append(batch, doc)
+	}
+	stats, err := ngramstats.AppendDelta(ctx, dir, batch, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ngrams: appended %d documents (%d n-grams, %d map input records) to %s; chain now %d documents, %d deltas\n",
+		stats.Docs, stats.Records, stats.Counters[mapreduce.CounterMapInputRecords], dir, stats.ChainDocs, stats.Deltas)
+	return nil
+}
+
+// compactRun is the -compact mode: merge the chain's generations into
+// one base index, byte-identical to a full rebuild.
+func compactRun(dir string) error {
+	stats, err := ngramstats.CompactIndex(dir, ngramstats.CompactOptions{})
+	if err != nil {
+		return err
+	}
+	if !stats.Compacted {
+		fmt.Fprintf(os.Stderr, "ngrams: %s has no deltas to compact\n", dir)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "ngrams: compacted %d generations of %s into %d n-grams in %v\n",
+		stats.Generations, dir, stats.Records, stats.Wallclock.Round(time.Millisecond))
+	return nil
+}
+
+// dumpIndex is the -open mode: every n-gram of a saved index or chain
+// on stdout in the canonical (dictionary-encoded) order, rendering
+// time-series and document aggregates sorted — the same documents
+// produce the same dump whether indexed in one batch or incrementally,
+// which is exactly what the CI smoke diff asserts.
+func dumpIndex(dir string) error {
+	x, err := ngramstats.OpenIndex(dir)
+	if err != nil {
+		return err
+	}
+	defer x.Close()
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for ng, err := range x.NGrams() {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d\t%s", ng.Frequency, ng.Text)
+		if len(ng.Years) > 0 {
+			years := make([]int, 0, len(ng.Years))
+			for y := range ng.Years {
+				years = append(years, y)
+			}
+			sort.Ints(years)
+			for _, y := range years {
+				fmt.Fprintf(w, "\t%d:%d", y, ng.Years[y])
+			}
+		}
+		if len(ng.Documents) > 0 {
+			ids := make([]int64, 0, len(ng.Documents))
+			for id := range ng.Documents {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				fmt.Fprintf(w, "\t%d:%d", id, ng.Documents[id])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
 }
 
 // sketchRun is the -sketch mode: one streaming pass over the input

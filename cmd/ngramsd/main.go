@@ -44,9 +44,22 @@
 // approximate answers, and -reconcile-every triggers the exact
 // MapReduce job automatically once that many documents are pending.
 //
+// With -incremental, reconciliations after the first append only the
+// newly ingested documents to the index as an LSM delta generation
+// (cost proportional to the new documents, not the stream) and the
+// daemon serves the chain's merged view; -compact-deltas and
+// -compact-ratio set the policy under which the background compactor
+// merges a chain back into a single base index, checking every
+// -compact-interval. POST /v1/admin/compact compacts on demand:
+//
+//	ngramsd -index live=/data/live-idx -ingest live -incremental \
+//	    -reconcile-every 1000 -compact-deltas 4
+//	curl -X POST 'localhost:8091/v1/admin/compact'
+//
 // Without -ingest the daemon is read-only; it serves all indexes
-// concurrently either way. Shut it down with SIGINT or SIGTERM
-// (in-flight requests drain gracefully).
+// concurrently either way (including indexes grown offline with
+// ngrams -append). Shut it down with SIGINT or SIGTERM (in-flight
+// requests drain gracefully).
 package main
 
 import (
@@ -90,7 +103,11 @@ func main() {
 	topK := flag.Int("ingest-topk", 0, "heavy hitters tracked per sketched order (0 = default 128)")
 	ingestMaxLen := flag.Int("ingest-maxlen", 0, "longest sketched and reconciled n-gram (0 = default 5)")
 	reconcileEvery := flag.Int("reconcile-every", 0, "run the exact reconciliation job once this many documents are pending (0 = manual via /v1/admin/reconcile)")
-	minFrequency := flag.Int64("min-frequency", 2, "minimum frequency the reconciled exact index keeps")
+	minFrequency := flag.Int64("min-frequency", 2, "minimum frequency the reconciled exact index keeps (forced to 1 with -incremental)")
+	incremental := flag.Bool("incremental", false, "reconcile incrementally: append only newly ingested documents as LSM delta generations instead of rebuilding the index")
+	compactDeltas := flag.Int("compact-deltas", 0, "compact a served index chain once it has this many delta generations (0 = default 4 when compaction is enabled)")
+	compactRatio := flag.Float64("compact-ratio", 0, "also compact once summed delta records reach this fraction of the base's records (0 = disabled)")
+	compactInterval := flag.Duration("compact-interval", 0, "how often the background compactor checks chain manifests (0 = default 10s)")
 	flag.Func("index", "index directory to serve, optionally name=path (repeatable)", func(v string) error {
 		specs = append(specs, v)
 		return nil
@@ -143,11 +160,30 @@ func main() {
 		if err != nil {
 			log.Fatalf("%v", err)
 		}
-		opts.Live = &serving.LiveConfig{
-			Ingester: si,
-			Index:    *ingest,
-			Count:    ngramstats.Options{MinFrequency: *minFrequency},
+		tau := *minFrequency
+		if *incremental {
+			tau = 1 // delta generations merge losslessly only at τ = 1
 		}
+		opts.Live = &serving.LiveConfig{
+			Ingester:    si,
+			Index:       *ingest,
+			Count:       ngramstats.Options{MinFrequency: tau},
+			Incremental: *incremental,
+		}
+	}
+	if *incremental || *compactDeltas > 0 || *compactRatio > 0 {
+		cc := &serving.CompactConfig{
+			MaxDeltas: *compactDeltas,
+			MaxRatio:  *compactRatio,
+			Interval:  *compactInterval,
+		}
+		if cc.MaxDeltas <= 0 && cc.MaxRatio <= 0 {
+			cc.MaxDeltas = serving.DefaultCompactDeltas
+		}
+		if cc.Interval <= 0 {
+			cc.Interval = serving.DefaultCompactInterval
+		}
+		opts.Compact = cc
 	}
 
 	srv, err := serving.NewServer(opts)
@@ -186,8 +222,13 @@ func main() {
 	if *ingest != "" {
 		go srv.ReconcileLoop(ctx)
 		iopts := opts.Live.Ingester.Options()
-		log.Printf("live ingestion into %q (eps=%g delta=%g maxlen=%d reconcile-every=%d)",
-			*ingest, iopts.Epsilon, iopts.Delta, iopts.MaxLength, iopts.ReconcileEvery)
+		log.Printf("live ingestion into %q (eps=%g delta=%g maxlen=%d reconcile-every=%d incremental=%v)",
+			*ingest, iopts.Epsilon, iopts.Delta, iopts.MaxLength, iopts.ReconcileEvery, *incremental)
+	}
+	if opts.Compact != nil {
+		go srv.CompactLoop(ctx)
+		log.Printf("background compaction enabled (deltas>=%d ratio=%g every %v)",
+			opts.Compact.MaxDeltas, opts.Compact.MaxRatio, opts.Compact.Interval)
 	}
 
 	ready := make(chan string, 1)

@@ -104,6 +104,34 @@
 // endpoint with 429 + Retry-After. cmd/ngrams can save (-save) or
 // compute-and-serve (-serve) directly.
 //
+// # Incremental maintenance (LSM chains)
+//
+// A saved index need not be rebuilt to grow. AppendDelta counts a
+// batch of new documents with the exact same job — restricted to just
+// those documents, so the cost is O(new documents) — and links the
+// result to the saved index as a delta generation of an LSM chain
+// (internal/lsm): the chain manifest (CHAIN.json, checksummed) orders
+// the base index and its deltas, delta dictionaries are seeded from
+// the previous generation so term identifiers stay stable, and
+// OpenIndex serves the chain transparently through a merge-on-read
+// view whose every answer equals a from-scratch rebuild over all
+// documents. CompactIndex merges base + deltas back into a single
+// base that is byte-identical — dictionary, shard files, precomputed
+// top records — to that rebuild, committing via an atomic manifest
+// swap (a crash leaves the previous chain intact and queryable).
+//
+//	stats, err := ngramstats.AppendDelta(ctx, "/data/books-idx", newDocs, ngramstats.AppendOptions{})
+//	// stats.Counters["MAP_INPUT_RECORDS"] == len(newDocs): O(new documents)
+//	cstats, err := ngramstats.CompactIndex("/data/books-idx", ngramstats.CompactOptions{})
+//
+// Appending requires the base to have been computed with
+// MinFrequency 1 and no maximal/closed selection — the invariants
+// under which per-generation counts merge losslessly. On the command
+// line, ngrams -append / -compact / -open drive the same cycle, and
+// ngramsd -incremental turns live reconciliation into appends with a
+// background compactor (-compact-deltas, -compact-ratio,
+// -compact-interval; POST /v1/admin/compact on demand).
+//
 // # Live ingestion and approximate counting
 //
 // The batch methods need the whole corpus before anything can be

@@ -105,11 +105,19 @@ type StreamIngester struct {
 	// mu guards the retained documents and the delta rotation. cur is
 	// the live delta; drain is the previous delta while a reconciliation
 	// of the documents up to cutoff is in flight (queries sum both).
+	//
+	// Document positions are absolute stream ordinals. docs holds the
+	// retained tail starting at ordinal base: a full-rebuild ingester
+	// keeps every document (base stays 0), while incremental
+	// reconciliation (CommitDrop) releases documents once a delta index
+	// covers them. covered is the absolute count of leading documents
+	// served exactly by the last committed reconciliation.
 	mu      sync.Mutex
 	docs    []Document
+	base    int64
 	cur     *sketch.Group
 	drain   *sketch.Group
-	covered int // documents covered by the last committed reconciliation
+	covered int64
 }
 
 // NewStreamIngester returns an empty ingester.
@@ -233,7 +241,7 @@ func (si *StreamIngester) groups() (cur, drain *sketch.Group) {
 func (si *StreamIngester) Docs() int64 {
 	si.mu.Lock()
 	defer si.mu.Unlock()
-	return int64(len(si.docs))
+	return si.base + int64(len(si.docs))
 }
 
 // Covered returns the number of leading documents whose statistics are
@@ -241,7 +249,7 @@ func (si *StreamIngester) Docs() int64 {
 func (si *StreamIngester) Covered() int64 {
 	si.mu.Lock()
 	defer si.mu.Unlock()
-	return int64(si.covered)
+	return si.covered
 }
 
 // Pending returns the number of ingested documents not yet covered by a
@@ -250,7 +258,7 @@ func (si *StreamIngester) Covered() int64 {
 func (si *StreamIngester) Pending() int64 {
 	si.mu.Lock()
 	defer si.mu.Unlock()
-	return int64(len(si.docs) - si.covered)
+	return si.base + int64(len(si.docs)) - si.covered
 }
 
 // N returns the total number of n-gram occurrences of the given order
@@ -392,10 +400,12 @@ func (si *StreamIngester) WriteSnapshot(w io.Writer) (int64, error) {
 // the ingested documents on its way through the exact MapReduce
 // pipeline. Exactly one of Commit or Abort must be called.
 type Reconcile struct {
-	si     *StreamIngester
-	docs   []Document
-	cutoff int
-	done   bool
+	si      *StreamIngester
+	docs    []Document // retained documents, starting at ordinal base
+	base    int64      // absolute ordinal of docs[0]
+	covered int64      // absolute coverage when the reconciliation began
+	cutoff  int64      // absolute ordinal the reconciliation covers up to
+	done    bool
 }
 
 // BeginReconcile freezes the currently accumulated documents for an
@@ -415,21 +425,43 @@ func (si *StreamIngester) BeginReconcile() (*Reconcile, error) {
 	}
 	si.drain = si.cur
 	si.cur = g
-	return &Reconcile{si: si, docs: si.docs, cutoff: len(si.docs)}, nil
+	return &Reconcile{
+		si:      si,
+		docs:    si.docs,
+		base:    si.base,
+		covered: si.covered,
+		cutoff:  si.base + int64(len(si.docs)),
+	}, nil
 }
 
 // Cutoff returns how many leading documents the reconciliation covers.
-func (rc *Reconcile) Cutoff() int { return rc.cutoff }
+func (rc *Reconcile) Cutoff() int { return int(rc.cutoff) }
 
-// Documents yields the frozen documents in ingestion order.
+// Documents yields every frozen document in ingestion order — the
+// input of a full exact rebuild. After an incremental reconciliation
+// has dropped covered documents (CommitDrop), the full prefix is gone
+// and Documents yields an error; use NewDocuments and AppendDelta
+// instead.
 func (rc *Reconcile) Documents() iter.Seq2[Document, error] {
 	return func(yield func(Document, error) bool) {
-		for _, d := range rc.docs[:rc.cutoff] {
+		if rc.base > 0 {
+			yield(Document{}, fmt.Errorf("ngramstats: %d leading documents were dropped by incremental reconciliation; a full rebuild needs NewDocuments + AppendDelta", rc.base))
+			return
+		}
+		for _, d := range rc.docs[:rc.cutoff-rc.base] {
 			if !yield(d, nil) {
 				return
 			}
 		}
 	}
+}
+
+// NewDocuments returns the frozen documents not yet covered by the
+// last committed reconciliation — the input of an incremental
+// AppendDelta, O(new documents) regardless of stream length. The slice
+// must not be mutated.
+func (rc *Reconcile) NewDocuments() []Document {
+	return rc.docs[rc.covered-rc.base : rc.cutoff-rc.base]
 }
 
 // Corpus builds the frozen documents into a corpus through the standard
@@ -440,7 +472,8 @@ func (rc *Reconcile) Corpus(ctx context.Context, name string) (*Corpus, error) {
 }
 
 // Commit records that exact results for the frozen documents are being
-// served and drops the drained sketch delta.
+// served and drops the drained sketch delta. The documents stay
+// retained, so a later full rebuild remains possible.
 func (rc *Reconcile) Commit() {
 	if rc.done {
 		return
@@ -450,6 +483,26 @@ func (rc *Reconcile) Commit() {
 	defer rc.si.mu.Unlock()
 	rc.si.drain = nil
 	rc.si.covered = rc.cutoff
+}
+
+// CommitDrop is Commit for incremental reconciliation: the covered
+// documents were appended to a persistent index as a delta generation,
+// so the ingester releases them instead of retaining them forever —
+// the memory held per reconciliation cycle stays O(new documents).
+// After the first CommitDrop, Documents (the full-rebuild input)
+// reports an error.
+func (rc *Reconcile) CommitDrop() {
+	if rc.done {
+		return
+	}
+	rc.done = true
+	rc.si.mu.Lock()
+	defer rc.si.mu.Unlock()
+	rc.si.drain = nil
+	rc.si.covered = rc.cutoff
+	keep := rc.si.docs[rc.cutoff-rc.si.base:]
+	rc.si.docs = append([]Document(nil), keep...)
+	rc.si.base = rc.cutoff
 }
 
 // Abort folds the drained delta back into the live one, restoring the

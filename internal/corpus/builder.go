@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"ngramstats/internal/dictionary"
 	"ngramstats/internal/encoding"
@@ -72,6 +73,12 @@ type Builder struct {
 	termBuf  []sequence.Term
 	sentEnds []int
 
+	// seed is the number of leading terms inherited from a previous
+	// generation's dictionary (see NewSeededBuilder); 0 for an unseeded
+	// build. Seeded identifiers are final, not provisional: Finish keeps
+	// them in place and ranks only the terms first seen by this builder.
+	seed int
+
 	added    int64
 	finished bool
 }
@@ -84,6 +91,34 @@ func NewBuilder(name string, opts BuilderOptions) *Builder {
 		opts: opts.withDefaults(),
 		ids:  make(map[string]sequence.Term),
 	}
+}
+
+// NewSeededBuilder returns a builder whose dictionary extends seed: the
+// seed's identifiers 0..seed.Len()-1 stay assigned to the same terms in
+// the finished dictionary, with their collection frequencies continued
+// cumulatively (seed cf plus this build's occurrences), and terms first
+// seen by this builder are appended after them, ranked among themselves
+// by descending frequency with lexicographic tie-break.
+//
+// This is the dictionary contract of LSM delta generations: every
+// generation's encoded sequences remain bytewise comparable because an
+// identifier, once assigned, never moves, and the newest generation's
+// (term, cumulative cf) table alone reconstructs the dictionary a batch
+// rebuild over all documents would produce.
+func NewSeededBuilder(name string, opts BuilderOptions, seed *dictionary.Dictionary) *Builder {
+	b := NewBuilder(name, opts)
+	n := seed.Len()
+	b.seed = n
+	b.terms = make([]string, n)
+	b.counts = make([]int64, n)
+	for i := 0; i < n; i++ {
+		id := sequence.Term(i)
+		term := seed.Term(id)
+		b.terms[i] = term
+		b.counts[i] = seed.CF(id)
+		b.ids[term] = id
+	}
+	return b
 }
 
 // errFinished guards against use after Finish or Discard.
@@ -209,11 +244,10 @@ func (b *Builder) Finish() (*Collection, error) {
 
 	// Final dictionary: identical construction to the batch path, so a
 	// streamed build yields byte-identical encodings.
-	db := dictionary.NewBuilder()
-	for i, term := range b.terms {
-		db.AddN(term, b.counts[i])
+	dict, err := b.buildDict()
+	if err != nil {
+		return nil, err
 	}
-	dict := db.Build()
 
 	// Provisional → final identifier table.
 	remap := make([]sequence.Term, len(b.terms))
@@ -268,6 +302,42 @@ func (b *Builder) Finish() (*Collection, error) {
 	}
 	b.docs = nil
 	return c, nil
+}
+
+// buildDict freezes the final dictionary. Unseeded builds rank every
+// term by frequency (the batch construction); seeded builds keep the
+// inherited identifiers 0..seed-1 in place with their cumulative
+// frequencies and append this build's new terms ranked among
+// themselves.
+func (b *Builder) buildDict() (*dictionary.Dictionary, error) {
+	if b.seed == 0 {
+		db := dictionary.NewBuilder()
+		for i, term := range b.terms {
+			db.AddN(term, b.counts[i])
+		}
+		return db.Build(), nil
+	}
+	type tc struct {
+		term string
+		cf   int64
+	}
+	fresh := make([]tc, 0, len(b.terms)-b.seed)
+	for i := b.seed; i < len(b.terms); i++ {
+		fresh = append(fresh, tc{b.terms[i], b.counts[i]})
+	}
+	sort.Slice(fresh, func(i, j int) bool {
+		if fresh[i].cf != fresh[j].cf {
+			return fresh[i].cf > fresh[j].cf
+		}
+		return fresh[i].term < fresh[j].term
+	})
+	terms := append([]string(nil), b.terms[:b.seed]...)
+	cfs := append([]int64(nil), b.counts[:b.seed]...)
+	for _, e := range fresh {
+		terms = append(terms, e.term)
+		cfs = append(cfs, e.cf)
+	}
+	return dictionary.FromTable(terms, cfs)
 }
 
 // Discard releases the builder's resources without producing a

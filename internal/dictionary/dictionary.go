@@ -78,8 +78,47 @@ func (b *Builder) Build() *Dictionary {
 	return d
 }
 
+// FromTable freezes an explicit (term, cf) table into a Dictionary,
+// assigning identifier i to the i-th entry as given — without the
+// frequency ranking Builder.Build performs. It is the constructor for
+// seeded dictionaries, whose identifier assignment must extend an
+// earlier generation's rather than re-rank: an LSM delta dictionary
+// keeps every inherited identifier stable and appends new terms after
+// them. Duplicate terms are rejected.
+func FromTable(terms []string, cfs []int64) (*Dictionary, error) {
+	if len(terms) != len(cfs) {
+		return nil, fmt.Errorf("dictionary: %d terms but %d frequencies", len(terms), len(cfs))
+	}
+	d := &Dictionary{
+		terms: append([]string(nil), terms...),
+		cfs:   append([]int64(nil), cfs...),
+		ids:   make(map[string]sequence.Term, len(terms)),
+	}
+	for i, t := range d.terms {
+		if _, dup := d.ids[t]; dup {
+			return nil, fmt.Errorf("dictionary: duplicate term %q", t)
+		}
+		d.ids[t] = sequence.Term(i)
+	}
+	return d, nil
+}
+
 // Len returns the number of distinct terms.
 func (d *Dictionary) Len() int { return len(d.terms) }
+
+// Ranked reports whether identifiers are in non-increasing collection-
+// frequency order — the invariant of a Builder-built dictionary, and
+// the property persistence records so Load can verify it. Seeded
+// dictionaries (FromTable) are generally unranked: inherited
+// identifiers keep their old positions while their frequencies grow.
+func (d *Dictionary) Ranked() bool {
+	for i := 1; i < len(d.cfs); i++ {
+		if d.cfs[i] > d.cfs[i-1] {
+			return false
+		}
+	}
+	return true
+}
 
 // ID returns the identifier of term.
 func (d *Dictionary) ID(term string) (sequence.Term, bool) {
@@ -162,7 +201,15 @@ func (d *Dictionary) Save(w io.Writer) error {
 // Load reads a dictionary in the Save format. Identifier order is the
 // line order; it must be in non-increasing frequency order, which Load
 // verifies.
-func Load(r io.Reader) (*Dictionary, error) {
+func Load(r io.Reader) (*Dictionary, error) { return load(r, true) }
+
+// LoadUnranked reads a dictionary in the Save format without requiring
+// non-increasing frequency order. LSM delta dictionaries are saved this
+// way: identifiers inherited from the previous generation keep their
+// positions while their cumulative frequencies drift out of rank order.
+func LoadUnranked(r io.Reader) (*Dictionary, error) { return load(r, false) }
+
+func load(r io.Reader, ranked bool) (*Dictionary, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	d := &Dictionary{ids: make(map[string]sequence.Term)}
@@ -183,7 +230,7 @@ func Load(r io.Reader) (*Dictionary, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dictionary: line %d: bad frequency: %v", line, err)
 		}
-		if prev >= 0 && cf > prev {
+		if ranked && prev >= 0 && cf > prev {
 			return nil, fmt.Errorf("dictionary: line %d: frequencies not non-increasing", line)
 		}
 		prev = cf

@@ -77,9 +77,25 @@ type manifest struct {
 	Jobs        int              `json:"jobs,omitempty"`
 	WallclockNS int64            `json:"wallclock_ns,omitempty"`
 	Counters    map[string]int64 `json:"counters,omitempty"`
-	Dict        fileInfo         `json:"dictionary"`
-	Shards      []shardInfo      `json:"shards"`
-	Top         *fileInfo        `json:"top,omitempty"`
+	// Docs, MaxLength, MinFrequency, and Selection snapshot the producing
+	// computation (document count, σ, τ, and the selection mode as an
+	// integer). They are what LSM chain maintenance needs to decide
+	// whether an index is appendable: deltas merge losslessly only when
+	// every generation was computed with τ = 1 and no maximal/closed
+	// selection, over a known document count. Absent (zero) in indexes
+	// written before these fields existed, which therefore cannot be
+	// adopted as chain bases.
+	Docs         int64 `json:"docs,omitempty"`
+	MaxLength    int   `json:"max_length,omitempty"`
+	MinFrequency int64 `json:"min_frequency,omitempty"`
+	Selection    int   `json:"selection,omitempty"`
+	// DictUnranked marks a dictionary whose identifiers are not in
+	// non-increasing frequency order (an LSM delta's seeded dictionary);
+	// the reader then skips Load's rank verification.
+	DictUnranked bool        `json:"dict_unranked,omitempty"`
+	Dict         fileInfo    `json:"dictionary"`
+	Shards       []shardInfo `json:"shards"`
+	Top          *fileInfo   `json:"top,omitempty"`
 }
 
 // fileInfo inventories one file of the index so Open can detect

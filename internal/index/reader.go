@@ -66,28 +66,9 @@ type shard struct {
 // query that touches it — in both cases with an error wrapping
 // ErrCorrupt or extsort.ErrCorruptRun, never wrong answers.
 func Open(dir string, opts Options) (*Index, error) {
-	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	man, err := readManifest(dir)
 	if err != nil {
-		return nil, fmt.Errorf("index: open %s: %w", dir, err)
-	}
-	crcData, err := os.ReadFile(filepath.Join(dir, ManifestCRCFile))
-	if err != nil {
-		return nil, fmt.Errorf("index: read manifest checksum: %w", err)
-	}
-	// The checksum file holds one CRC line per manifest it vouches for:
-	// exactly one for a committed index, transiently two while Commit
-	// replaces an existing index (old and new manifest are both valid
-	// during the swap, so a crash between the renames never leaves the
-	// directory unopenable). Any line must match exactly.
-	if !manifestCRCMatches(crcData, crc32.Checksum(data, crcTable)) {
-		return nil, corruptf("manifest checksum mismatch")
-	}
-	var man manifest
-	if err := json.Unmarshal(data, &man); err != nil {
-		return nil, corruptf("parse manifest: %v", err)
-	}
-	if man.Version != FormatVersion {
-		return nil, corruptf("unsupported index format version %d", man.Version)
+		return nil, err
 	}
 	ix := &Index{dir: dir, man: man}
 	ix.refs.Store(1) // the handle's own base reference, dropped by Close
@@ -139,6 +120,35 @@ func Open(dir string, opts Options) (*Index, error) {
 	return ix, nil
 }
 
+// readManifest reads, checksum-verifies, and parses the directory's
+// MANIFEST.json.
+func readManifest(dir string) (manifest, error) {
+	var man manifest
+	data, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return man, fmt.Errorf("index: open %s: %w", dir, err)
+	}
+	crcData, err := os.ReadFile(filepath.Join(dir, ManifestCRCFile))
+	if err != nil {
+		return man, fmt.Errorf("index: read manifest checksum: %w", err)
+	}
+	// The checksum file holds one CRC line per manifest it vouches for:
+	// exactly one for a committed index, transiently two while Commit
+	// replaces an existing index (old and new manifest are both valid
+	// during the swap, so a crash between the renames never leaves the
+	// directory unopenable). Any line must match exactly.
+	if !manifestCRCMatches(crcData, crc32.Checksum(data, crcTable)) {
+		return man, corruptf("manifest checksum mismatch")
+	}
+	if err := json.Unmarshal(data, &man); err != nil {
+		return man, corruptf("parse manifest: %v", err)
+	}
+	if man.Version != FormatVersion {
+		return man, corruptf("unsupported index format version %d", man.Version)
+	}
+	return man, nil
+}
+
 // manifestCRCMatches reports whether any complete (newline-terminated)
 // line of the checksum file is exactly the %08x rendering of crc. A
 // final unterminated fragment never matches, so truncation anywhere in
@@ -169,12 +179,22 @@ func (ix *Index) loadDictionary() error {
 	if crc32.Checksum(data, crcTable) != ix.man.Dict.CRC {
 		return corruptf("dictionary checksum mismatch")
 	}
-	d, err := dictionary.Load(bytes.NewReader(data))
+	d, err := loadDict(data, ix.man.DictUnranked)
 	if err != nil {
 		return corruptf("parse dictionary: %v", err)
 	}
 	ix.dict = d
 	return nil
+}
+
+// loadDict parses dictionary bytes, honoring the manifest's rank flag:
+// unranked dictionaries (LSM delta generations) skip the non-increasing
+// frequency check that ranked dictionaries are verified against.
+func loadDict(data []byte, unranked bool) (*dictionary.Dictionary, error) {
+	if unranked {
+		return dictionary.LoadUnranked(bytes.NewReader(data))
+	}
+	return dictionary.Load(bytes.NewReader(data))
 }
 
 func openShard(dir string, si shardInfo) (*shard, error) {
@@ -336,6 +356,37 @@ func (ix *Index) Counters() map[string]int64 {
 
 // Shards returns the number of shard files.
 func (ix *Index) Shards() int { return len(ix.shards) }
+
+// Docs returns the number of documents the index was computed over, or
+// 0 for indexes written before this was recorded.
+func (ix *Index) Docs() int64 { return ix.man.Docs }
+
+// MaxLength returns the maximum n-gram length (σ) of the producing
+// computation, or 0 when unrecorded.
+func (ix *Index) MaxLength() int { return ix.man.MaxLength }
+
+// MinFrequency returns the frequency threshold (τ) of the producing
+// computation, or 0 when unrecorded.
+func (ix *Index) MinFrequency() int64 { return ix.man.MinFrequency }
+
+// Selection returns the selection mode of the producing computation as
+// an integer (the value of the root package's Selection type).
+func (ix *Index) Selection() int { return ix.man.Selection }
+
+// ShardRuns opens every shard as an extsort merge input, in shard
+// (i.e. global key) order, reading through the index's already-open
+// file descriptors. The runs are safe to merge even if the underlying
+// files are unlinked meanwhile — the LSM compactor relies on exactly
+// that to stream a superseded generation into a new base. The caller
+// must keep the Index open (not Closed) until the merge completes, and
+// may pass a nil stats.
+func (ix *Index) ShardRuns(stats *extsort.IOStats) []*extsort.Run {
+	runs := make([]*extsort.Run, len(ix.shards))
+	for i, sh := range ix.shards {
+		runs[i] = extsort.OpenRemoteRun(sh.info.Bytes, int(sh.info.Records), fileReadAt(sh.f), stats)
+	}
+	return runs
+}
 
 // ManifestTime returns the modification time of MANIFEST.json observed
 // when the index was opened — the freshness anchor a serving layer

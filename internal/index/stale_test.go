@@ -1,0 +1,109 @@
+package index
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStaleRemovable pins which paths from a replaced manifest the
+// writer may unlink: flat files and gen- staging files only. Unknown
+// subdirectories — notably the delta-/base- generations of an LSM
+// chain sharing the root, possibly referenced by a manifest written by
+// a future format — and escaping paths are off limits.
+func TestStaleRemovable(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"dictionary.tsv", true},
+		{"shard-00003.run", true},
+		{"top.run", true},
+		{"gen-000002/dictionary.tsv", true},
+		{"gen-000002/shard-00000.run", true},
+		{"gen-7/nested/deeper/file.run", true},
+		{"delta-000000/shard-00000.run", false},
+		{"base-000002/dictionary.tsv", false},
+		{"CHAIN.json", true}, // flat file; never manifest-listed in practice
+		{"some-dir/file.run", false},
+		{"gen/file.run", false},     // "gen" without the dash is not staging
+		{"genx-01/file.run", false}, // prefix must be exactly "gen-"
+		{"../outside.run", false},   // escapes the index directory
+		{"/etc/passwd", false},      // absolute
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := staleRemovable(c.path); got != c.want {
+			t.Errorf("staleRemovable(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// TestReplaceSparesChainStructures is the integration form: replacing
+// a plain index whose directory also hosts LSM chain structures (a
+// delta generation, the chain manifest) must not reach into them, even
+// when the replaced manifest — possibly from a future format — lists
+// files inside those subdirectories as its own.
+func TestReplaceSparesChainStructures(t *testing.T) {
+	dir := t.TempDir()
+	buildIndex(t, dir, 40, 2)
+
+	// Chain structures sharing the root.
+	deltaDir := filepath.Join(dir, "delta-000000")
+	if err := os.MkdirAll(deltaDir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	deltaShard := filepath.Join(deltaDir, "shard-00000.run")
+	if err := os.WriteFile(deltaShard, []byte("delta data"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	chainMan := filepath.Join(dir, "CHAIN.json")
+	if err := os.WriteFile(chainMan, []byte("{}\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	// Doctor the committed manifest to claim the delta's file and an
+	// escaping path as index data (committedFiles does not checksum).
+	manPath := filepath.Join(dir, ManifestFile)
+	data, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	man.Shards = append(man.Shards,
+		shardInfo{fileInfo: fileInfo{File: "delta-000000/shard-00000.run"}},
+		shardInfo{fileInfo: fileInfo{File: "../escapee.run"}},
+	)
+	doctored, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, doctored, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	outside := filepath.Join(filepath.Dir(dir), "escapee.run")
+	if err := os.WriteFile(outside, []byte("outside"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	buildReplacement(t, dir, 30, 1)
+
+	for _, f := range []string{deltaShard, chainMan, outside} {
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("replacement removed %s: %v", f, err)
+		}
+	}
+	// The replacement itself still committed and serves.
+	ix, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after replace: %v", err)
+	}
+	defer ix.Close()
+	if ix.Records() != 30 {
+		t.Fatalf("Records = %d, want 30", ix.Records())
+	}
+}

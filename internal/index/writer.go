@@ -36,6 +36,15 @@ type WriterOptions struct {
 	Jobs      int
 	Wallclock time.Duration
 	Counters  map[string]int64
+	// Docs, MaxLength, MinFrequency, Selection, and DictUnranked are
+	// recorded verbatim in the manifest (see the manifest type for their
+	// meaning); all are optional and this package does not interpret
+	// them.
+	Docs         int64
+	MaxLength    int
+	MinFrequency int64
+	Selection    int
+	DictUnranked bool
 	// Replace allows writing over a directory that already contains a
 	// committed index. The new index's data files are staged in a fresh
 	// generation subdirectory and the manifest is swapped in atomically
@@ -123,13 +132,18 @@ func NewWriter(dir string, opts WriterOptions) (*Writer, error) {
 	}
 	w := &Writer{dir: dir, opts: opts, sub: sub, stale: stale, perShard: perShard}
 	w.man = manifest{
-		Version:     FormatVersion,
-		Corpus:      opts.Corpus,
-		Kind:        opts.Kind,
-		Records:     opts.Records,
-		Jobs:        opts.Jobs,
-		WallclockNS: opts.Wallclock.Nanoseconds(),
-		Counters:    opts.Counters,
+		Version:      FormatVersion,
+		Corpus:       opts.Corpus,
+		Kind:         opts.Kind,
+		Records:      opts.Records,
+		Jobs:         opts.Jobs,
+		WallclockNS:  opts.Wallclock.Nanoseconds(),
+		Counters:     opts.Counters,
+		Docs:         opts.Docs,
+		MaxLength:    opts.MaxLength,
+		MinFrequency: opts.MinFrequency,
+		Selection:    opts.Selection,
+		DictUnranked: opts.DictUnranked,
 	}
 	return w, nil
 }
@@ -388,7 +402,7 @@ func (w *Writer) cleanupStale() {
 	}
 	dirs := map[string]bool{}
 	for _, f := range w.stale {
-		if live[f] {
+		if live[f] || !staleRemovable(f) {
 			continue
 		}
 		os.Remove(filepath.Join(w.dir, f))
@@ -399,6 +413,32 @@ func (w *Writer) cleanupStale() {
 	for d := range dirs {
 		os.Remove(filepath.Join(w.dir, d)) // fails while non-empty; fine
 	}
+}
+
+// staleRemovable reports whether a dir-relative path from a replaced
+// manifest is one this writer may unlink: a flat file directly in the
+// index directory, or a file in a "gen-" staging subdirectory (the only
+// subdirectories this package ever creates). Everything else —
+// absolute or escaping paths, and unknown subdirectories such as the
+// delta-NNNNNN/base-NNNNNN generations of an LSM chain sharing the
+// root — is left alone, so replacing a plain index never reaches into
+// structures owned by a different (possibly future) layout.
+func staleRemovable(f string) bool {
+	if f == "" || !filepath.IsLocal(f) {
+		return false
+	}
+	d := filepath.Dir(f)
+	if d == "." {
+		return true
+	}
+	for {
+		parent := filepath.Dir(d)
+		if parent == "." {
+			break
+		}
+		d = parent
+	}
+	return len(d) > 4 && d[:4] == "gen-"
 }
 
 // Abort removes every file the writer has produced so far. It is safe

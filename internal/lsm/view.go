@@ -1,0 +1,542 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ngramstats/internal/core"
+	"ngramstats/internal/dictionary"
+	"ngramstats/internal/encoding"
+	"ngramstats/internal/extsort"
+	"ngramstats/internal/index"
+	"ngramstats/internal/sequence"
+)
+
+// Options configures OpenChain.
+type Options struct {
+	// CacheBlocks bounds each generation's decoded-block cache, as
+	// index.Options.CacheBlocks.
+	CacheBlocks int
+	// TempDir is the directory for the spill files of full ordered
+	// scans (which re-sort into canonical order externally). Empty
+	// selects the system temp directory.
+	TempDir string
+}
+
+// View is a read-only merged view over a chain: one base plus its
+// deltas answer queries as if they were a single index, with aggregate
+// cells folded across generations on the fly.
+//
+// Queries speak the canonical identifier space — the frequency-ranked
+// dictionary a full rebuild over all documents would produce,
+// reconstructed exactly from the newest generation's cumulative
+// (term, frequency) table. Keys are translated to the chain's stable
+// identifier space on the way in and back on the way out, so a caller
+// cannot distinguish a View from the rebuilt index it stands in for.
+//
+// Like index.Index, all state is immutable after OpenChain and Close
+// is refcounted against in-flight queries, so a serving layer can
+// retire a view under live traffic.
+type View struct {
+	dir     string
+	man     *Manifest
+	manTime time.Time // CHAIN.json mtime observed at open
+	opts    Options
+
+	// gens holds the open generations in merge order: base first, then
+	// deltas oldest to newest.
+	gens []*index.Index
+
+	// dict is the canonical dictionary; toCanon and toChain translate
+	// between the chain's stable identifiers and canonical ones (a
+	// bijection — both spaces rank exactly the terms of the newest
+	// generation's dictionary).
+	dict    *dictionary.Dictionary
+	toCanon []sequence.Term
+	toChain []sequence.Term
+
+	refs   atomic.Int64
+	closed atomic.Bool
+}
+
+// OpenChain opens the chain at dir and builds its merged view. Every
+// generation is opened and cross-checked against the chain manifest
+// (corpus, kind, σ, appendability, record counts); any inconsistency
+// is reported wrapping ErrCorrupt. A generation that vanishes between
+// the manifest read and its open (a compaction committed in between)
+// is retried once against the fresh manifest.
+func OpenChain(dir string, opts Options) (*View, error) {
+	v, err := openChain(dir, opts)
+	if err != nil && !errors.Is(err, ErrCorrupt) {
+		// The chain may have been compacted under us: the manifest we
+		// read referenced generations that are now retired. Re-read and
+		// retry once.
+		v, err = openChain(dir, opts)
+	}
+	return v, err
+}
+
+func openChain(dir string, opts Options) (*View, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{dir: dir, man: man, opts: opts}
+	v.refs.Store(1)
+	if st, err := os.Stat(filepath.Join(dir, ChainFile)); err == nil {
+		v.manTime = st.ModTime()
+	}
+	for _, g := range man.Gens() {
+		gdir := filepath.Join(dir, g.Dir)
+		ix, err := index.Open(gdir, index.Options{CacheBlocks: opts.CacheBlocks})
+		if err != nil {
+			v.Close()
+			return nil, fmt.Errorf("lsm: generation %s: %w", g.Dir, err)
+		}
+		v.gens = append(v.gens, ix)
+		if ix.Records() != g.Records {
+			v.Close()
+			return nil, corruptf("generation %s holds %d records, chain declares %d", g.Dir, ix.Records(), g.Records)
+		}
+		if ix.Corpus() != man.Corpus || ix.Kind() != man.Kind || ix.MaxLength() != man.MaxLength {
+			v.Close()
+			return nil, corruptf("generation %s does not match the chain invariants", g.Dir)
+		}
+		if err := appendable(index.Meta{MinFrequency: ix.MinFrequency(), Selection: ix.Selection()}); err != nil {
+			v.Close()
+			return nil, corruptf("generation %s: %v", g.Dir, err)
+		}
+	}
+	if err := v.buildCanonical(); err != nil {
+		v.Close()
+		return nil, err
+	}
+	return v, nil
+}
+
+// buildCanonical reconstructs the canonical frequency-ranked
+// dictionary from the newest generation's cumulative table and the
+// translation maps between the two identifier spaces.
+func (v *View) buildCanonical() error {
+	chainDict := v.gens[len(v.gens)-1].Dictionary()
+	n := chainDict.Len()
+	db := dictionary.NewBuilder()
+	for i := 0; i < n; i++ {
+		id := sequence.Term(i)
+		db.AddN(chainDict.Term(id), chainDict.CF(id))
+	}
+	v.dict = db.Build()
+	v.toCanon = make([]sequence.Term, n)
+	v.toChain = make([]sequence.Term, n)
+	for i := 0; i < n; i++ {
+		id := sequence.Term(i)
+		canon, ok := v.dict.ID(chainDict.Term(id))
+		if !ok {
+			return corruptf("term %q lost in canonical dictionary build", chainDict.Term(id))
+		}
+		v.toCanon[id] = canon
+		v.toChain[canon] = id
+	}
+	return nil
+}
+
+// acquire/release mirror index.Index: queries pin the view, and the
+// generations close when the last pin after Close drains.
+func (v *View) acquire() error {
+	if v.closed.Load() {
+		return index.ErrClosed
+	}
+	for {
+		r := v.refs.Load()
+		if r <= 0 {
+			return index.ErrClosed
+		}
+		if v.refs.CompareAndSwap(r, r+1) {
+			return nil
+		}
+	}
+}
+
+func (v *View) release() error {
+	if v.refs.Add(-1) == 0 {
+		return v.closeGens()
+	}
+	return nil
+}
+
+func (v *View) closeGens() error {
+	var first error
+	for _, g := range v.gens {
+		if err := g.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close marks the view closed — subsequent queries fail with
+// index.ErrClosed — and closes the generations once in-flight queries
+// drain. Idempotent.
+func (v *View) Close() error {
+	if v.closed.Swap(true) {
+		return nil
+	}
+	return v.release()
+}
+
+// Manifest returns a copy of the chain manifest the view was opened
+// from.
+func (v *View) Manifest() Manifest {
+	m := *v.man
+	m.Deltas = append([]GenInfo(nil), v.man.Deltas...)
+	return m
+}
+
+// Records returns the total record count across generations — an
+// upper bound on the number of distinct merged n-grams, since an
+// n-gram present in several generations is counted once per
+// generation. Exact cardinality would require a full merge.
+func (v *View) Records() int64 { return v.man.Records() }
+
+// Docs returns the cumulative document count across generations.
+func (v *View) Docs() int64 { return v.man.Docs }
+
+// Generations returns the number of generations (base + deltas).
+func (v *View) Generations() int { return len(v.gens) }
+
+// Corpus returns the chain's corpus name.
+func (v *View) Corpus() string { return v.man.Corpus }
+
+// Kind returns the chain's aggregation kind.
+func (v *View) Kind() int { return v.man.Kind }
+
+// MaxLength returns the chain's σ.
+func (v *View) MaxLength() int { return v.man.MaxLength }
+
+// Shards returns the total shard count across generations.
+func (v *View) Shards() int {
+	n := 0
+	for _, g := range v.gens {
+		n += g.Shards()
+	}
+	return n
+}
+
+// Counters returns the producing runs' counters summed across
+// generations.
+func (v *View) Counters() map[string]int64 {
+	out := map[string]int64{}
+	for _, g := range v.gens {
+		for k, n := range g.Counters() {
+			out[k] += n
+		}
+	}
+	return out
+}
+
+// CacheStats returns the decoded-block cache hit and miss counts
+// summed across generations.
+func (v *View) CacheStats() (hits, misses int64) {
+	for _, g := range v.gens {
+		h, m := g.CacheStats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// ManifestTime returns the modification time of CHAIN.json observed at
+// open — the freshness anchor for serving-layer reload checks.
+func (v *View) ManifestTime() time.Time { return v.manTime }
+
+// Dictionary returns the canonical dictionary: term identifiers ranked
+// by cumulative frequency across all generations, exactly as a full
+// rebuild would assign them.
+func (v *View) Dictionary() *dictionary.Dictionary { return v.dict }
+
+// TopRecords always reports false: the per-generation precomputed top
+// records cannot be merged without a full fold (a gram just below
+// every generation's top cutoff may sum into the global top), so TopK
+// over a view takes the scanning fallback until the next compaction
+// rebuilds the precomputed file.
+func (v *View) TopRecords(k int) (keys, values [][]byte, ok bool) { return nil, nil, false }
+
+// remap rewrites an encoded key through the given identifier table
+// into dst (reusing scratch for the decoded sequence) — chain→canon
+// with v.toCanon, canon→chain with v.toChain.
+func remapKey(dst []byte, key []byte, m []sequence.Term, scratch sequence.Seq) ([]byte, sequence.Seq, error) {
+	seq, err := encoding.DecodeSeqInto(scratch, key)
+	if err != nil {
+		return dst, scratch, err
+	}
+	for i, t := range seq {
+		if int(t) >= len(m) {
+			return dst, seq, corruptf("key holds term id %d outside dictionary of %d", t, len(m))
+		}
+		seq[i] = m[t]
+	}
+	return encoding.AppendSeq(dst[:0], seq), seq, nil
+}
+
+// AppendCanonicalKey rewrites a chain-space key into the canonical
+// identifier space, appending to dst[:0]. The compactor uses it to
+// translate merged chain keys into the keys the rebuilt base stores.
+func (v *View) AppendCanonicalKey(dst, chainKey []byte) ([]byte, error) {
+	out, _, err := remapKey(dst, chainKey, v.toCanon, nil)
+	return out, err
+}
+
+// Get returns the merged value stored under a canonical-space key, if
+// any: the per-generation cells for the corresponding chain key are
+// folded into one. A key found in exactly one generation returns that
+// generation's stored bytes unchanged.
+func (v *View) Get(key []byte) ([]byte, bool, error) {
+	if err := v.acquire(); err != nil {
+		return nil, false, err
+	}
+	defer v.release()
+	chainKey, _, err := remapKey(nil, key, v.toChain, nil)
+	if err != nil {
+		// A key naming identifiers outside the dictionary cannot be
+		// stored anywhere in the chain.
+		return nil, false, nil
+	}
+	var agg core.Aggregate
+	var single []byte
+	found := 0
+	for _, g := range v.gens {
+		val, ok, err := g.Get(chainKey)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			continue
+		}
+		found++
+		switch found {
+		case 1:
+			single = val
+		case 2:
+			agg, err = core.DecodeAggregate(core.AggregationKind(v.man.Kind), single)
+			if err == nil {
+				var other core.Aggregate
+				other, err = core.DecodeAggregate(core.AggregationKind(v.man.Kind), val)
+				if err == nil {
+					agg.Merge(other)
+				}
+			}
+			if err != nil {
+				return nil, false, err
+			}
+		default:
+			other, err := core.DecodeAggregate(core.AggregationKind(v.man.Kind), val)
+			if err != nil {
+				return nil, false, err
+			}
+			agg.Merge(other)
+		}
+	}
+	switch found {
+	case 0:
+		return nil, false, nil
+	case 1:
+		return single, true, nil
+	default:
+		return agg.Encode(), true, nil
+	}
+}
+
+// ScanChain calls fn for every merged record with lo ≤ chain key < hi
+// in ascending chain-key order. Equal keys across generations arrive
+// folded: fn sees each distinct chain key exactly once, with the
+// generations' aggregate cells merged (a key present in a single
+// generation passes its stored bytes through unchanged, which is the
+// common case). The slices passed to fn are valid only during the
+// call. fn may return index.StopScan() to end the scan early.
+//
+// The scan streams every generation's sorted shards through one merge
+// tree (reusing the extsort loser tree over the generations' open file
+// descriptors), so its cost is O(total records in range) regardless of
+// how the records are spread across generations.
+func (v *View) ScanChain(lo, hi []byte, fn func(chainKey, value []byte) error) error {
+	if err := v.acquire(); err != nil {
+		return err
+	}
+	defer v.release()
+	return v.scanChainLocked(lo, hi, fn)
+}
+
+func (v *View) scanChainLocked(lo, hi []byte, fn func(chainKey, value []byte) error) error {
+	var runs []*extsort.Run
+	for _, g := range v.gens {
+		runs = append(runs, g.ShardRuns(nil)...)
+	}
+	it, err := extsort.MergeRunsRange(nil, runs, lo, hi)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+
+	kind := core.AggregationKind(v.man.Kind)
+	var curKey, curVal []byte
+	var agg core.Aggregate // non-nil once cur spans >1 generation
+	have := false
+	flush := func() error {
+		val := curVal
+		if agg != nil {
+			val = agg.Encode()
+		}
+		if err := fn(curKey, val); err != nil {
+			return err
+		}
+		agg = nil
+		return nil
+	}
+	for it.Next() {
+		k, val := it.Key(), it.Value()
+		if have && bytes.Equal(k, curKey) {
+			if agg == nil {
+				if agg, err = core.DecodeAggregate(kind, curVal); err != nil {
+					return err
+				}
+			}
+			other, err := core.DecodeAggregate(kind, val)
+			if err != nil {
+				return err
+			}
+			agg.Merge(other)
+			continue
+		}
+		if have {
+			if err := flush(); err != nil {
+				if errors.Is(err, index.StopScan()) {
+					return nil
+				}
+				return err
+			}
+		}
+		curKey = append(curKey[:0], k...)
+		curVal = append(curVal[:0], val...)
+		have = true
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if have {
+		if err := flush(); err != nil && !errors.Is(err, index.StopScan()) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanUnordered calls fn for every merged record exactly once, with
+// canonical-space keys, in no particular (canonical) order. It is the
+// cheap full pass for order-independent consumers such as top-k
+// selection.
+func (v *View) ScanUnordered(fn func(key, value []byte) error) error {
+	var keyBuf []byte
+	var scratch sequence.Seq
+	return v.ScanChain(nil, nil, func(chainKey, value []byte) error {
+		var err error
+		keyBuf, scratch, err = remapKey(keyBuf, chainKey, v.toCanon, scratch)
+		if err != nil {
+			return err
+		}
+		return fn(keyBuf, value)
+	})
+}
+
+// ScanAll calls fn for every merged record in ascending canonical key
+// order — the order the rebuilt index would enumerate. Chain order and
+// canonical order differ (identifiers were assigned at different
+// times), so the merged stream is re-sorted through an external
+// sorter; prefer ScanUnordered when order does not matter.
+func (v *View) ScanAll(fn func(key, value []byte) error) error {
+	sorter := extsort.NewSorter(extsort.Options{TempDir: v.opts.TempDir})
+	defer sorter.Discard()
+	err := v.ScanUnordered(func(key, value []byte) error {
+		return sorter.Add(key, value)
+	})
+	if err != nil {
+		return err
+	}
+	it, err := sorter.Sort()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for it.Next() {
+		if err := fn(it.Key(), it.Value()); err != nil {
+			if errors.Is(err, index.StopScan()) {
+				return nil
+			}
+			return err
+		}
+	}
+	return it.Err()
+}
+
+// ScanPrefix calls fn for every merged record whose canonical key
+// starts with the given byte prefix, in ascending canonical key order.
+// The prefix must be a complete encoded sequence (as produced for a
+// phrase); it is translated to the chain space, where — identifier
+// translation being sequence-position-wise — it bounds exactly the
+// same set of records, which are then collected, translated back, and
+// emitted in canonical order.
+func (v *View) ScanPrefix(prefix []byte, fn func(key, value []byte) error) error {
+	if len(prefix) == 0 {
+		return v.ScanAll(fn)
+	}
+	if err := v.acquire(); err != nil {
+		return err
+	}
+	defer v.release()
+	chainPrefix, _, err := remapKey(nil, prefix, v.toChain, nil)
+	if err != nil {
+		// Identifiers outside the dictionary match nothing.
+		return nil
+	}
+	type rec struct{ key, value []byte }
+	var recs []rec
+	err = v.scanChainLocked(chainPrefix, index.PrefixSuccessor(chainPrefix), func(chainKey, value []byte) error {
+		key, _, err := remapKey(nil, chainKey, v.toCanon, nil)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rec{key, append([]byte(nil), value...)})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(recs, func(i, j int) bool { return bytes.Compare(recs[i].key, recs[j].key) < 0 })
+	for _, r := range recs {
+		if err := fn(r.key, r.value); err != nil {
+			if errors.Is(err, index.StopScan()) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// ShardRuns opens every generation's shards as extsort merge inputs in
+// merge order, reading through the view's open file descriptors — the
+// compactor's input. The view must stay open until the merge
+// completes; the runs stay readable even after the underlying files
+// are unlinked by a committed compaction.
+func (v *View) ShardRuns(stats *extsort.IOStats) []*extsort.Run {
+	var runs []*extsort.Run
+	for _, g := range v.gens {
+		runs = append(runs, g.ShardRuns(stats)...)
+	}
+	return runs
+}

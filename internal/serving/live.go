@@ -32,6 +32,15 @@ type LiveConfig struct {
 	// Save configures how reconciled results are persisted; Replace is
 	// forced on.
 	Save ngramstats.SaveOptions
+	// Incremental switches reconciliation to LSM delta appends: the
+	// first reconcile still saves a full base index, every later one
+	// appends only the documents ingested since the previous reconcile
+	// as a delta generation (ngramstats.AppendDelta) and releases them
+	// from memory — each cycle costs O(new documents) regardless of
+	// stream length. Requires Count.MinFrequency ≤ 1 and no
+	// maximal/closed selection (the chain invariants); pair with
+	// ServerOptions.Compact so chains are merged back periodically.
+	Incremental bool
 	// Interval is how often the reconciliation loop checks whether
 	// enough documents accumulated (IngestOptions.ReconcileEvery).
 	// Default 1s.
@@ -63,6 +72,17 @@ func newLiveState(cfg *LiveConfig) (*liveState, error) {
 	}
 	if c.Count.MaxLength == 0 {
 		c.Count.MaxLength = c.Ingester.Options().MaxLength
+	}
+	if c.Incremental {
+		// Delta generations merge losslessly only when every generation
+		// counts every n-gram: τ = 1 and no selection.
+		if c.Count.MinFrequency > 1 {
+			return nil, fmt.Errorf("serving: incremental reconciliation requires MinFrequency 1, got %d (per-generation thresholds do not merge)", c.Count.MinFrequency)
+		}
+		c.Count.MinFrequency = 1
+		if c.Count.Selection != ngramstats.SelectAll {
+			return nil, fmt.Errorf("serving: incremental reconciliation requires SelectAll (per-generation maximal/closed selection does not merge)")
+		}
 	}
 	c.Save.Replace = true
 	if c.Interval <= 0 {
@@ -334,19 +354,41 @@ func (s *Server) ReconcileNow(ctx context.Context) (ReconcileResponse, error) {
 		}
 		return resp, nil
 	}
+	h := s.handles[ls.cfg.Index]
+	// Incremental mode appends only the new documents as a delta
+	// generation — once a base index exists to append to. The first
+	// reconciliation always takes the full path below to materialize
+	// the base.
+	incremental := ls.cfg.Incremental && h.gen.Load() != nil
 	run := func() error {
-		c, err := rc.Corpus(ctx, ls.cfg.Index)
-		if err != nil {
-			return fmt.Errorf("build corpus: %w", err)
-		}
-		res, err := ngramstats.Count(ctx, c, ls.cfg.Count)
-		if err != nil {
-			return fmt.Errorf("exact job: %w", err)
-		}
-		defer res.Release()
-		h := s.handles[ls.cfg.Index]
-		if err := res.SaveWith(h.cfg.Dir, ls.cfg.Save); err != nil {
-			return fmt.Errorf("save: %w", err)
+		if incremental {
+			docs := rc.NewDocuments()
+			h.chainMu.Lock()
+			stats, err := ngramstats.AppendDelta(ctx, h.cfg.Dir, docs, ngramstats.AppendOptions{
+				Count:    ls.cfg.Count,
+				Builder:  ls.cfg.Ingester.Options().Builder,
+				Compress: ls.cfg.Save.Compress,
+			})
+			h.chainMu.Unlock()
+			if err != nil {
+				return fmt.Errorf("append delta: %w", err)
+			}
+			resp.Incremental = true
+			resp.AppendedDocs = stats.Docs
+			resp.MapInputRecords = stats.Counters["MAP_INPUT_RECORDS"]
+		} else {
+			c, err := rc.Corpus(ctx, ls.cfg.Index)
+			if err != nil {
+				return fmt.Errorf("build corpus: %w", err)
+			}
+			res, err := ngramstats.Count(ctx, c, ls.cfg.Count)
+			if err != nil {
+				return fmt.Errorf("exact job: %w", err)
+			}
+			defer res.Release()
+			if err := res.SaveWith(h.cfg.Dir, ls.cfg.Save); err != nil {
+				return fmt.Errorf("save: %w", err)
+			}
 		}
 		gen, err := s.Reload(ls.cfg.Index)
 		if err != nil {
@@ -364,8 +406,13 @@ func (s *Server) ReconcileNow(ctx context.Context) (ReconcileResponse, error) {
 	// Commit after the swap: between Reload and Commit both the new
 	// generation and the draining delta cover the reconciled documents,
 	// so estimates stay one-sided (briefly doubled) rather than ever
-	// dropping below the true count.
-	rc.Commit()
+	// dropping below the true count. In incremental mode the documents
+	// are persisted in the chain, so the ingester releases them too.
+	if ls.cfg.Incremental {
+		rc.CommitDrop()
+	} else {
+		rc.Commit()
+	}
 	ls.reconciles.Add(1)
 	resp.Applied = true
 	resp.Docs = int64(rc.Cutoff())

@@ -17,6 +17,7 @@
 //	GET  /v1/approx/topk?k=n                     approximate heavy hitters
 //	POST /v1/admin/reload[?index=name]           swap to the on-disk index
 //	POST /v1/admin/reconcile                     run the exact job over ingested documents now
+//	POST /v1/admin/compact[?index=name]          merge an LSM chain's deltas into one base now
 //	GET  /v1/healthz (alias /healthz)            liveness + generations
 //	GET  /metrics                                Prometheus-style text
 //
@@ -62,6 +63,21 @@
 // generation machinery, and resets the sketch delta: approximate
 // answers degrade gracefully to exact + a delta covering only the
 // documents ingested since the last reconcile.
+//
+// # Incremental indexes
+//
+// A served directory may be an LSM chain (ngramstats.AppendDelta): a
+// base index plus delta generations behind one chain manifest. Queries
+// are answered from the chain's merge-on-read view exactly as from a
+// plain index; the Watch loop follows the chain manifest instead of
+// the index manifest, so appends and compactions hot-swap in like any
+// other reload. With LiveConfig.Incremental, the reconciliation loop
+// appends only the documents ingested since the previous reconcile as
+// a delta generation — O(new documents) instead of a full rebuild —
+// and CompactLoop (policy: delta count or delta/base record ratio,
+// ServerOptions.Compact) merges chains back into a single base in the
+// background, swapping through the generation machinery with zero
+// failed requests.
 package serving
 
 import (
@@ -83,6 +99,7 @@ import (
 
 	"ngramstats"
 	"ngramstats/internal/index"
+	"ngramstats/internal/lsm"
 )
 
 // Defaults for the corresponding ServerOptions fields.
@@ -153,6 +170,11 @@ type ServerOptions struct {
 	// reconciliation loop. Nil leaves them returning 501.
 	Live *LiveConfig
 
+	// Compact configures the background compaction policy applied by
+	// CompactLoop to served LSM chains. Nil disables automatic
+	// compaction; POST /v1/admin/compact works regardless.
+	Compact *CompactConfig
+
 	// Logf, if non-nil, receives operational log lines (reloads, watch
 	// errors).
 	Logf func(format string, args ...any)
@@ -182,6 +204,16 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.Compact != nil {
+		c := *o.Compact
+		if c.MaxDeltas <= 0 && c.MaxRatio <= 0 {
+			c.MaxDeltas = DefaultCompactDeltas
+		}
+		if c.Interval <= 0 {
+			c.Interval = DefaultCompactInterval
+		}
+		o.Compact = &c
 	}
 	return o
 }
@@ -233,6 +265,14 @@ type handle struct {
 	closed bool       // set by Close, under mu
 	gen    atomic.Pointer[generation]
 	swaps  atomic.Int64
+
+	// chainMu serializes chain mutations on the directory — delta
+	// appends (incremental reconciliation) and compactions — which
+	// assume a single writer per chain. Readers never take it.
+	chainMu sync.Mutex
+	// compacting guards against overlapping compactions of one handle
+	// without making admin requests wait behind a running one.
+	compacting atomic.Bool
 }
 
 // acquire pins the active generation, or returns nil after Close.
@@ -394,6 +434,7 @@ type Server struct {
 	epMetrics      *endpoint
 	epReload       *endpoint
 	epReconcile    *endpoint
+	epCompact      *endpoint
 }
 
 // NewServer opens every configured index at its current generation and
@@ -465,10 +506,11 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	s.epMetrics = &endpoint{name: "metrics"}
 	s.epReload = &endpoint{name: "reload"}
 	s.epReconcile = &endpoint{name: "reconcile"}
+	s.epCompact = &endpoint{name: "compact"}
 	s.eps = []*endpoint{
 		s.epLookup, s.epPrefix, s.epTopK, s.epQuery,
 		s.epScore, s.epPredict, s.epIngest, s.epApproxLookup, s.epApproxTopK,
-		s.epHealthz, s.epMetrics, s.epReload, s.epReconcile,
+		s.epHealthz, s.epMetrics, s.epReload, s.epReconcile, s.epCompact,
 	}
 
 	s.mux.HandleFunc("GET /v1/lookup", s.handler(s.epLookup, false, s.handleLookupV1))
@@ -482,6 +524,7 @@ func NewServer(opts ServerOptions) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/approx/topk", s.handler(s.epApproxTopK, false, s.handleApproxTopK))
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handler(s.epReload, false, s.handleReload))
 	s.mux.HandleFunc("POST /v1/admin/reconcile", s.handler(s.epReconcile, false, s.handleReconcile))
+	s.mux.HandleFunc("POST /v1/admin/compact", s.handler(s.epCompact, false, s.handleCompact))
 	s.mux.HandleFunc("GET /v1/healthz", s.handler(s.epHealthz, false, s.handleHealthz))
 	s.mux.HandleFunc("/lookup", s.handler(s.epLookup, true, s.handleLookupLegacy))
 	s.mux.HandleFunc("/prefix", s.handler(s.epPrefix, true, s.handlePrefixLegacy))
@@ -596,7 +639,13 @@ func (s *Server) checkReload(h *handle) {
 	if g == nil && !h.live {
 		return // shut down
 	}
-	st, err := os.Stat(filepath.Join(h.cfg.Dir, index.ManifestFile))
+	// An LSM chain advances through its chain manifest (appends and
+	// compactions rewrite CHAIN.json); a plain index through its index
+	// manifest.
+	st, err := os.Stat(filepath.Join(h.cfg.Dir, lsm.ChainFile))
+	if err != nil {
+		st, err = os.Stat(filepath.Join(h.cfg.Dir, index.ManifestFile))
+	}
 	if err != nil {
 		return // not yet materialized, mid-replacement, or transient
 	}
@@ -715,6 +764,18 @@ func (s *Server) resolveName(w http.ResponseWriter, name string) (*generation, s
 	}
 	g := h.acquire()
 	if g == nil {
+		h.mu.Lock()
+		closed := h.closed
+		h.mu.Unlock()
+		if h.live && !closed {
+			// Awaiting its first materialization: the index exists once
+			// the first reconciliation (or delta append) lands, so the
+			// condition is transient — tell the client when to retry.
+			w.Header().Set("Retry-After", s.retryAfter)
+			writeError(w, http.StatusServiceUnavailable,
+				"index %q has no generation yet (awaiting first reconciliation)", name)
+			return nil, "", false
+		}
 		writeError(w, http.StatusServiceUnavailable, "index %q is shut down", name)
 		return nil, "", false
 	}

@@ -210,6 +210,32 @@ type ReconcileResponse struct {
 	// Generation is the index generation serving the reconciled
 	// results.
 	Generation int64 `json:"generation"`
+	// Incremental reports that the reconciliation appended a delta
+	// generation (LiveConfig.Incremental) instead of rebuilding.
+	Incremental bool `json:"incremental,omitempty"`
+	// AppendedDocs is how many new documents the delta covered —
+	// exactly the documents ingested since the previous reconcile.
+	AppendedDocs int64 `json:"appended_docs,omitempty"`
+	// MapInputRecords is the MAP_INPUT_RECORDS counter of the delta
+	// job: the records the incremental run actually read, evidence the
+	// append was O(new documents).
+	MapInputRecords int64 `json:"map_input_records,omitempty"`
+}
+
+// CompactResponse is the body of POST /v1/admin/compact.
+type CompactResponse struct {
+	Index string `json:"index"`
+	// Compacted is false when there was nothing to do: a plain index,
+	// or a chain with no deltas.
+	Compacted bool `json:"compacted"`
+	// Generations is how many chain generations were merged.
+	Generations int `json:"generations,omitempty"`
+	// Records is the record count of the compacted base.
+	Records int64 `json:"records,omitempty"`
+	// WallclockMS is the compaction's elapsed time in milliseconds.
+	WallclockMS int64 `json:"wallclock_ms,omitempty"`
+	// Generation is the index generation now serving.
+	Generation int64 `json:"generation"`
 }
 
 // IndexHealth is one index's entry in HealthResponse.

@@ -81,7 +81,7 @@ func Start(ctx context.Context, c *Corpus, opts Options) (*Job, error) {
 		if err != nil {
 			j.err = err
 		} else {
-			j.res = &Result{corpus: c, run: run}
+			j.res = &Result{corpus: c, run: run, opts: opts}
 		}
 		track.finish()
 	}()

@@ -1,0 +1,506 @@
+package ngramstats
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ngramstats/internal/lsm"
+	"ngramstats/internal/mapreduce"
+)
+
+// The incremental-maintenance fixture: the persist-test corpus split
+// into a base batch and two append batches, so base + deltas together
+// cover exactly the documents of saveTestCorpus.
+var (
+	lsmDocs = []string{
+		"the quick brown fox jumps over the lazy dog. the quick brown fox returns.",
+		"a quick brown fox is not a lazy dog. the dog sleeps.",
+		"the quick brown fox jumps over the lazy dog again and again.",
+		"lazy dogs sleep. quick foxes jump. the quick brown fox jumps.",
+		"to be or not to be. to be or not to be. that is the question.",
+	}
+	lsmYears = []int{1999, 2001, 2001, 2004, 2007}
+)
+
+// lsmBatch packages lsmDocs[lo:hi] as append input (zero IDs: the
+// chain assigns the ordinals a full rebuild would).
+func lsmBatch(lo, hi int) []Document {
+	docs := make([]Document, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		docs = append(docs, Document{Text: lsmDocs[i], Year: lsmYears[i]})
+	}
+	return docs
+}
+
+// saveFullIndex counts lsmDocs[:n] under the chain invariants (τ = 1,
+// no selection) and saves the result with Save's default layout — the
+// same policy CompactIndex reproduces.
+func saveFullIndex(t *testing.T, agg Aggregation, n int, dir string) {
+	t.Helper()
+	c, err := FromText("persist-test", lsmDocs[:n], lsmYears[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Count(context.Background(), c, Options{
+		MinFrequency: 1, MaxLength: 5, Aggregation: agg, TempDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Release()
+	if err := res.SaveWith(dir, SaveOptions{TempDir: t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildChain saves a base over lsmDocs[:2] and appends lsmDocs[2:3]
+// and lsmDocs[3:5] as two delta generations, asserting each append's
+// MAP_INPUT_RECORDS shows only the new documents were processed.
+func buildChain(t *testing.T, agg Aggregation, dir string) {
+	t.Helper()
+	saveFullIndex(t, agg, 2, dir)
+	for i, bounds := range [][2]int{{2, 3}, {3, 5}} {
+		batch := lsmBatch(bounds[0], bounds[1])
+		stats, err := AppendDelta(context.Background(), dir, batch, AppendOptions{
+			Count: Options{TempDir: t.TempDir()},
+		})
+		if err != nil {
+			t.Fatalf("AppendDelta batch %d: %v", i, err)
+		}
+		if stats.Docs != int64(len(batch)) {
+			t.Fatalf("append %d: Docs = %d, want %d", i, stats.Docs, len(batch))
+		}
+		if got := stats.Counters[mapreduce.CounterMapInputRecords]; got != int64(len(batch)) {
+			t.Fatalf("append %d read %d map input records, want %d (incremental cost must be O(new documents))",
+				i, got, len(batch))
+		}
+		if stats.Deltas != i+1 {
+			t.Fatalf("append %d: Deltas = %d, want %d", i, stats.Deltas, i+1)
+		}
+		if want := int64(bounds[1]); stats.ChainDocs != want {
+			t.Fatalf("append %d: ChainDocs = %d, want %d", i, stats.ChainDocs, want)
+		}
+	}
+}
+
+// assertIndexesEqual checks that two open indexes answer every public
+// query identically: NGrams, TopK (below, at, and beyond the stored
+// depth), Longest, Lookup (hits and misses), and Prefix.
+func assertIndexesEqual(t *testing.T, got, want *Index) {
+	t.Helper()
+	// A merge-on-read view's Len is an upper bound (an n-gram present
+	// in several generations counts once per generation); it must never
+	// undercount. The NGrams comparison below proves the distinct sets
+	// are identical.
+	if got.Len() < want.Len() {
+		t.Fatalf("Len: got %d, below %d", got.Len(), want.Len())
+	}
+	wantSet := collect(t, want.NGrams())
+	gotSet := collect(t, got.NGrams())
+	if len(gotSet) != len(wantSet) {
+		t.Fatalf("NGrams: %d vs %d", len(gotSet), len(wantSet))
+	}
+	for k, w := range wantSet {
+		g, ok := gotSet[k]
+		if !ok {
+			t.Fatalf("missing n-gram %q", w.Text)
+		}
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("NGram mismatch for %q:\ngot:  %+v\nwant: %+v", w.Text, g, w)
+		}
+	}
+	for _, k := range []int{0, 1, 3, 7, 25, int(want.Len()), int(want.Len()) + 9} {
+		gw, err := got.TopK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ww, err := want.TopK(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gw, ww) {
+			t.Fatalf("TopK(%d) mismatch:\ngot:  %v\nwant: %v", k, texts(gw), texts(ww))
+		}
+	}
+	for _, k := range []int{1, 5} {
+		gw, err := got.Longest(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ww, err := want.Longest(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gw, ww) {
+			t.Fatalf("Longest(%d) mismatch", k)
+		}
+	}
+	phrases := make([]string, 0, len(wantSet))
+	for _, w := range wantSet {
+		phrases = append(phrases, w.Text)
+	}
+	sort.Strings(phrases)
+	phrases = append(phrases, "the the the", "xylophone quick", "")
+	for _, p := range phrases {
+		gg, gok, err := got.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg, wok, err := want.Lookup(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gok != wok || !reflect.DeepEqual(gg, wg) {
+			t.Fatalf("Lookup(%q): got (%v, %v), want (%v, %v)", p, gg, gok, wg, wok)
+		}
+	}
+	for _, p := range []string{"the", "quick brown", "to be", "zebra"} {
+		gp, err := got.Prefix(p, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wp, err := want.Prefix(p, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gp, wp) {
+			t.Fatalf("Prefix(%q) mismatch: got %v, want %v", p, texts(gp), texts(wp))
+		}
+	}
+}
+
+// TestAppendCompactGolden is the incremental-maintenance golden test,
+// across all aggregation kinds: a chain grown by two appends answers
+// every query exactly as a from-scratch rebuild over all documents,
+// and compaction then produces data files byte-identical to that
+// rebuild's.
+func TestAppendCompactGolden(t *testing.T) {
+	for _, agg := range []Aggregation{Counts, TimeSeries, DocumentIndex} {
+		t.Run(fmt.Sprintf("agg=%d", agg), func(t *testing.T) {
+			chainDir := filepath.Join(t.TempDir(), "chain")
+			fullDir := filepath.Join(t.TempDir(), "full")
+			buildChain(t, agg, chainDir)
+			saveFullIndex(t, agg, len(lsmDocs), fullDir)
+
+			full, err := OpenIndex(fullDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer full.Close()
+
+			// Merge-on-read: the chain's view equals the rebuild.
+			chain, err := OpenIndex(chainDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIndexesEqual(t, chain, full)
+			chain.Close()
+
+			// Compaction: byte-identical to the rebuild's data files.
+			stats, err := CompactIndex(chainDir, CompactOptions{TempDir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !stats.Compacted || stats.Generations != 3 {
+				t.Fatalf("CompactStats = %+v, want 3 generations compacted", stats)
+			}
+			if stats.Records != full.Len() {
+				t.Fatalf("compacted %d records, rebuild has %d", stats.Records, full.Len())
+			}
+			man, err := lsm.ReadManifest(chainDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(man.Deltas) != 0 || man.Base.Dir == "." {
+				t.Fatalf("post-compaction manifest: base %q, %d deltas", man.Base.Dir, len(man.Deltas))
+			}
+			baseDir := filepath.Join(chainDir, man.Base.Dir)
+			names, err := filepath.Glob(filepath.Join(fullDir, "shard-*.run"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range append([]string{"dictionary.tsv", "top.run"}, names...) {
+				name := filepath.Base(f)
+				wantBytes, err := os.ReadFile(filepath.Join(fullDir, name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotBytes, err := os.ReadFile(filepath.Join(baseDir, name))
+				if err != nil {
+					t.Fatalf("compacted base is missing %s: %v", name, err)
+				}
+				if !reflect.DeepEqual(gotBytes, wantBytes) {
+					t.Fatalf("%s differs between compacted base and full rebuild", name)
+				}
+			}
+			// The adopted flat base and the delta directories are retired.
+			if _, err := os.Stat(filepath.Join(chainDir, "dictionary.tsv")); !os.IsNotExist(err) {
+				t.Fatalf("flat base files survived compaction (err=%v)", err)
+			}
+			if _, err := os.Stat(filepath.Join(chainDir, "delta-000000")); !os.IsNotExist(err) {
+				t.Fatalf("delta generation survived compaction (err=%v)", err)
+			}
+
+			// The compacted chain still answers identically.
+			chain, err = OpenIndex(chainDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer chain.Close()
+			assertIndexesEqual(t, chain, full)
+
+			// A second compaction is a no-op.
+			stats, err = CompactIndex(chainDir, CompactOptions{TempDir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Compacted {
+				t.Fatal("compacting a delta-free chain must be a no-op")
+			}
+		})
+	}
+}
+
+// TestAppendDocumentIDMixing rejects batches mixing explicit and
+// auto-assigned document identifiers, in either order.
+func TestAppendDocumentIDMixing(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "chain")
+	saveFullIndex(t, Counts, 2, dir)
+	for _, docs := range [][]Document{
+		{{ID: 7, Text: "a b c."}, {Text: "d e f."}},
+		{{Text: "a b c."}, {ID: 7, Text: "d e f."}},
+	} {
+		if _, err := AppendDelta(context.Background(), dir, docs, AppendOptions{}); err == nil {
+			t.Fatalf("mixed-ID batch %v must be rejected", docs)
+		}
+	}
+	if _, err := AppendDelta(context.Background(), dir, nil, AppendOptions{}); err == nil {
+		t.Fatal("empty batch must be rejected")
+	}
+}
+
+// TestChainManifestCorruption is the corruption sweep: every single
+// byte flip and every truncation of the chain manifest, and every flip
+// of its checksum file, must surface as ErrCorrupt — never as wrong
+// counts — and removing a referenced delta must fail the open.
+func TestChainManifestCorruption(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "chain")
+	saveFullIndex(t, Counts, 2, dir)
+	if _, err := AppendDelta(context.Background(), dir, lsmBatch(2, 3), AppendOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	manPath := filepath.Join(dir, lsm.ChainFile)
+	crcPath := filepath.Join(dir, lsm.ChainCRCFile)
+	manData, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crcData, err := os.ReadFile(crcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mustCorrupt := func(what string) {
+		t.Helper()
+		ix, err := OpenIndex(dir)
+		if err == nil {
+			ix.Close()
+			t.Fatalf("%s: OpenIndex succeeded on a damaged chain", what)
+		}
+		if !errors.Is(err, lsm.ErrCorrupt) {
+			t.Fatalf("%s: error %v does not wrap lsm.ErrCorrupt", what, err)
+		}
+	}
+	restore := func() {
+		if err := os.WriteFile(manPath, manData, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(crcPath, crcData, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sanity: the pristine chain opens.
+	if ix, err := OpenIndex(dir); err != nil {
+		t.Fatalf("pristine chain: %v", err)
+	} else {
+		ix.Close()
+	}
+
+	for i := range manData {
+		bad := append([]byte(nil), manData...)
+		bad[i] ^= 0xff
+		if err := os.WriteFile(manPath, bad, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		mustCorrupt(fmt.Sprintf("manifest byte %d flipped", i))
+	}
+	restore()
+	for n := range manData {
+		if err := os.WriteFile(manPath, manData[:n], 0o666); err != nil {
+			t.Fatal(err)
+		}
+		mustCorrupt(fmt.Sprintf("manifest truncated to %d bytes", n))
+	}
+	restore()
+	for i := range crcData {
+		bad := append([]byte(nil), crcData...)
+		bad[i] ^= 0xff
+		if err := os.WriteFile(crcPath, bad, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		mustCorrupt(fmt.Sprintf("checksum byte %d flipped", i))
+	}
+	restore()
+
+	// A manifest that references a missing generation must fail the
+	// open (with the filesystem's error, not wrong counts).
+	if err := os.RemoveAll(filepath.Join(dir, "delta-000000")); err != nil {
+		t.Fatal(err)
+	}
+	if ix, err := OpenIndex(dir); err == nil {
+		ix.Close()
+		t.Fatal("OpenIndex succeeded with a referenced delta missing")
+	}
+}
+
+// TestCompactionCrashSafety: generation directories left behind by a
+// crashed compaction or append never disturb the committed chain —
+// readers ignore them, the next mutation sweeps them, and compaction
+// then completes normally.
+func TestCompactionCrashSafety(t *testing.T) {
+	chainDir := filepath.Join(t.TempDir(), "chain")
+	fullDir := filepath.Join(t.TempDir(), "full")
+	buildChain(t, Counts, chainDir)
+	saveFullIndex(t, Counts, len(lsmDocs), fullDir)
+
+	// A compaction that died mid-write: a partial base directory with
+	// no committed manifest, plus a partial delta from a dead append.
+	for _, orphan := range []string{"base-000099", "delta-000099"} {
+		d := filepath.Join(chainDir, orphan)
+		if err := os.MkdirAll(d, 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(d, "shard-00000.run.tmp"), []byte("partial"), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	full, err := OpenIndex(fullDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	chain, err := OpenIndex(chainDir)
+	if err != nil {
+		t.Fatalf("chain with orphan generations must stay queryable: %v", err)
+	}
+	assertIndexesEqual(t, chain, full)
+	chain.Close()
+
+	// The next mutation sweeps the orphans and succeeds.
+	stats, err := CompactIndex(chainDir, CompactOptions{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Compacted {
+		t.Fatal("compaction did not run")
+	}
+	for _, orphan := range []string{"base-000099", "delta-000099"} {
+		if _, err := os.Stat(filepath.Join(chainDir, orphan)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the sweep (err=%v)", orphan, err)
+		}
+	}
+	chain, err = OpenIndex(chainDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chain.Close()
+	assertIndexesEqual(t, chain, full)
+}
+
+// TestReconcileIncremental covers the ingester's incremental
+// reconciliation contract: NewDocuments exposes exactly the documents
+// since the last commit, CommitDrop retires them, and the full-rebuild
+// iterator refuses to run once leading documents have been dropped.
+func TestReconcileIncremental(t *testing.T) {
+	si, err := NewStreamIngester(IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := si.Ingest(lsmBatch(0, 2)...); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, err := si.BeginReconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.NewDocuments(); len(got) != 2 || got[0].Text != lsmDocs[0] {
+		t.Fatalf("first NewDocuments: %d docs", len(got))
+	}
+	// Before any drop the full iterator still works.
+	n := 0
+	for _, err := range rc.Documents() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("Documents yielded %d docs, want 2", n)
+	}
+	rc.CommitDrop()
+	if si.Pending() != 0 || si.Covered() != 2 || si.Docs() != 2 {
+		t.Fatalf("after CommitDrop: pending=%d covered=%d docs=%d", si.Pending(), si.Covered(), si.Docs())
+	}
+
+	if err := si.Ingest(lsmBatch(2, 4)...); err != nil {
+		t.Fatal(err)
+	}
+	if si.Pending() != 2 || si.Docs() != 4 {
+		t.Fatalf("after ingest: pending=%d docs=%d", si.Pending(), si.Docs())
+	}
+	rc, err = si.BeginReconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.NewDocuments(); len(got) != 2 || got[0].Text != lsmDocs[2] {
+		t.Fatalf("second NewDocuments: %+v", got)
+	}
+	// The stream's prefix is gone: a full-rebuild iteration must fail
+	// rather than silently rebuild from a partial stream.
+	sawErr := false
+	for _, err := range rc.Documents() {
+		if err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("Documents() must fail after leading documents were dropped")
+	}
+	if err := rc.Abort(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An aborted incremental reconcile leaves the window intact.
+	rc, err = si.BeginReconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rc.NewDocuments(); len(got) != 2 {
+		t.Fatalf("post-abort NewDocuments: %d docs, want 2", len(got))
+	}
+	rc.CommitDrop()
+	if si.Pending() != 0 || si.Covered() != 4 {
+		t.Fatalf("final state: pending=%d covered=%d", si.Pending(), si.Covered())
+	}
+}

@@ -16,9 +16,11 @@ import (
 	"time"
 
 	"ngramstats/internal/core"
+	"ngramstats/internal/dictionary"
 	"ngramstats/internal/encoding"
 	"ngramstats/internal/extsort"
 	"ngramstats/internal/index"
+	"ngramstats/internal/lsm"
 	"ngramstats/internal/sequence"
 )
 
@@ -99,16 +101,25 @@ func (r *Result) SaveWith(dir string, opts SaveOptions) error {
 	}
 	defer it.Close()
 
+	tau := r.opts.MinFrequency
+	if tau < 1 {
+		tau = 1
+	}
 	w, err := index.NewWriter(dir, index.WriterOptions{
-		Corpus:    r.corpus.Name(),
-		Kind:      int(r.run.Result.Kind()),
-		Records:   total,
-		Shards:    opts.Shards,
-		Codec:     codec,
-		Jobs:      r.Jobs(),
-		Wallclock: r.Wallclock(),
-		Counters:  r.run.Counters.Snapshot(),
-		Replace:   opts.Replace,
+		Corpus:       r.corpus.Name(),
+		Kind:         int(r.run.Result.Kind()),
+		Records:      total,
+		Shards:       opts.Shards,
+		Codec:        codec,
+		Jobs:         r.Jobs(),
+		Wallclock:    r.Wallclock(),
+		Counters:     r.run.Counters.Snapshot(),
+		Docs:         int64(len(r.corpus.collection().Docs)),
+		MaxLength:    r.opts.MaxLength,
+		MinFrequency: tau,
+		Selection:    int(r.opts.Selection),
+		DictUnranked: !dict.Ranked(),
+		Replace:      opts.Replace,
 	})
 	if err != nil {
 		return err
@@ -150,66 +161,138 @@ func (r *Result) SaveWith(dir string, opts SaveOptions) error {
 type IndexOptions struct {
 	// CacheBlocks bounds the decoded-block LRU cache in blocks (a
 	// block decodes to ~64 KiB). 0 selects 128; negative disables
-	// caching.
+	// caching. A chain applies the bound per generation.
 	CacheBlocks int
+	// TempDir is the scratch directory for query-time external sorts
+	// (only ordered full scans over a chain view need one; default:
+	// system temp).
+	TempDir string
 }
 
-// OpenIndex opens an index directory written by Save. The returned
-// Index answers NGrams, TopK, Longest, Lookup, and Prefix queries
-// byte-identically to the Result it was saved from, and is safe for
+// OpenIndex opens an index directory written by Save — or an LSM chain
+// grown from one by AppendDelta, served as its merged view. The
+// returned Index answers NGrams, TopK, Longest, Lookup, and Prefix
+// queries byte-identically to the Result it was saved from (for a
+// chain: to a full rebuild over all its documents), and is safe for
 // any number of concurrent readers. Equivalent to OpenIndexWith with
 // zero options.
 func OpenIndex(dir string) (*Index, error) { return OpenIndexWith(dir, IndexOptions{}) }
 
 // OpenIndexWith is OpenIndex with explicit options.
 func OpenIndexWith(dir string, opts IndexOptions) (*Index, error) {
-	ix, err := index.Open(dir, index.Options{CacheBlocks: opts.CacheBlocks})
-	if err != nil {
-		return nil, err
+	var b indexBackend
+	if lsm.Exists(dir) {
+		v, err := lsm.OpenChain(dir, lsm.Options{CacheBlocks: opts.CacheBlocks, TempDir: opts.TempDir})
+		if err != nil {
+			return nil, err
+		}
+		b = v
+	} else {
+		ix, err := index.Open(dir, index.Options{CacheBlocks: opts.CacheBlocks})
+		if err != nil {
+			return nil, err
+		}
+		b = plainBackend{ix}
 	}
-	kind := core.AggregationKind(ix.Kind())
+	kind := core.AggregationKind(b.Kind())
 	switch kind {
 	case core.AggCount, core.AggTimeSeries, core.AggDocIndex:
 	default:
-		ix.Close()
-		return nil, fmt.Errorf("ngramstats: index %s has unknown aggregation kind %d", dir, ix.Kind())
+		b.Close()
+		return nil, fmt.Errorf("ngramstats: index %s has unknown aggregation kind %d", dir, b.Kind())
 	}
-	return &Index{ix: ix, kind: kind}, nil
+	return &Index{b: b, kind: kind}, nil
 }
 
-// Index is a read-only handle on a persisted result. All query methods
-// are safe for concurrent use without locking: the underlying state is
+// indexBackend is what a queryable on-disk artifact must provide: a
+// plain index directory satisfies it directly, and an LSM chain's
+// merged view satisfies it by folding its generations on the fly.
+// ScanAll enumerates in ascending encoded-key order; ScanUnordered
+// may use any order (the cheap variant for order-independent
+// consumers like top-k selection).
+type indexBackend interface {
+	Records() int64
+	Corpus() string
+	Kind() int
+	Shards() int
+	Counters() map[string]int64
+	CacheStats() (hits, misses int64)
+	ManifestTime() time.Time
+	Close() error
+	Dictionary() *dictionary.Dictionary
+	Get(key []byte) ([]byte, bool, error)
+	ScanAll(fn func(key, value []byte) error) error
+	ScanUnordered(fn func(key, value []byte) error) error
+	ScanPrefix(prefix []byte, fn func(key, value []byte) error) error
+	TopRecords(k int) (keys, values [][]byte, ok bool)
+}
+
+// plainBackend adapts *index.Index to indexBackend (its scans are
+// already ordered, so both scan variants are the same full scan).
+type plainBackend struct{ ix *index.Index }
+
+func (p plainBackend) Records() int64                     { return p.ix.Records() }
+func (p plainBackend) Corpus() string                     { return p.ix.Corpus() }
+func (p plainBackend) Kind() int                          { return p.ix.Kind() }
+func (p plainBackend) Shards() int                        { return p.ix.Shards() }
+func (p plainBackend) Counters() map[string]int64         { return p.ix.Counters() }
+func (p plainBackend) CacheStats() (int64, int64)         { return p.ix.CacheStats() }
+func (p plainBackend) ManifestTime() time.Time            { return p.ix.ManifestTime() }
+func (p plainBackend) Close() error                       { return p.ix.Close() }
+func (p plainBackend) Dictionary() *dictionary.Dictionary { return p.ix.Dictionary() }
+func (p plainBackend) Get(key []byte) ([]byte, bool, error) {
+	return p.ix.Get(key)
+}
+func (p plainBackend) ScanAll(fn func(key, value []byte) error) error {
+	return p.ix.Scan(nil, nil, fn)
+}
+func (p plainBackend) ScanUnordered(fn func(key, value []byte) error) error {
+	return p.ix.Scan(nil, nil, fn)
+}
+func (p plainBackend) ScanPrefix(prefix []byte, fn func(key, value []byte) error) error {
+	return p.ix.ScanPrefix(prefix, fn)
+}
+func (p plainBackend) TopRecords(k int) ([][]byte, [][]byte, bool) {
+	return p.ix.TopRecords(k)
+}
+
+// Index is a read-only handle on a persisted result — a plain index
+// directory or an LSM chain's merged view. All query methods are safe
+// for concurrent use without locking: the underlying state is
 // immutable, shard reads use positioned reads, and the only shared
 // mutable structure is the internal block cache.
 type Index struct {
-	ix   *index.Index
+	b    indexBackend
 	kind core.AggregationKind
 }
 
 // resolver returns the shared decoder rendering terms through the
 // persisted dictionary.
 func (x *Index) resolver() resolver {
-	return resolver{term: x.ix.Dictionary().Term}
+	return resolver{term: x.b.Dictionary().Term}
 }
 
-// Len returns the number of indexed n-grams.
-func (x *Index) Len() int64 { return x.ix.Records() }
+// Len returns the number of indexed n-grams. For a chain view this is
+// an upper bound: an n-gram present in several generations is counted
+// once per generation until the next compaction.
+func (x *Index) Len() int64 { return x.b.Records() }
 
 // Corpus returns the name of the corpus the statistics were computed
 // over.
-func (x *Index) Corpus() string { return x.ix.Corpus() }
+func (x *Index) Corpus() string { return x.b.Corpus() }
 
 // Shards returns the number of on-disk shard files.
-func (x *Index) Shards() int { return x.ix.Shards() }
+func (x *Index) Shards() int { return x.b.Shards() }
 
 // Counters returns the counter snapshot of the run that produced the
-// index (MAP_OUTPUT_RECORDS, SHUFFLE_BYTES_WRITTEN, …).
-func (x *Index) Counters() map[string]int64 { return x.ix.Counters() }
+// index (MAP_OUTPUT_RECORDS, SHUFFLE_BYTES_WRITTEN, …); for a chain,
+// the counters summed across its generations' runs.
+func (x *Index) Counters() map[string]int64 { return x.b.Counters() }
 
 // CacheStats returns the cumulative hit and miss counts of the
 // decoded-block cache, measuring how often queries were served without
 // re-reading and re-decoding a shard block.
-func (x *Index) CacheStats() (hits, misses int64) { return x.ix.CacheStats() }
+func (x *Index) CacheStats() (hits, misses int64) { return x.b.CacheStats() }
 
 // ErrIndexClosed is reported by queries issued against a closed Index.
 var ErrIndexClosed = index.ErrClosed
@@ -218,18 +301,30 @@ var ErrIndexClosed = index.ErrClosed
 // traffic: queries in flight on other goroutines complete normally and
 // the files are closed when the last one drains, while queries started
 // after Close fail with ErrIndexClosed. Close is idempotent.
-func (x *Index) Close() error { return x.ix.Close() }
+func (x *Index) Close() error { return x.b.Close() }
 
 // ManifestTime returns the modification time of the index manifest
-// observed when the index was opened. A serving layer compares it
-// against the on-disk manifest to detect that the directory has been
-// rewritten (SaveOptions.Replace) and a newer generation is available.
-func (x *Index) ManifestTime() time.Time { return x.ix.ManifestTime() }
+// (CHAIN.json for a chain) observed when the index was opened. A
+// serving layer compares it against the on-disk manifest to detect
+// that the directory has been rewritten — replaced, appended to, or
+// compacted — and a newer generation is available.
+func (x *Index) ManifestTime() time.Time { return x.b.ManifestTime() }
 
 // eachAggregate streams every indexed record in ascending encoded-key
 // order through the shared iteration seam.
 func (x *Index) eachAggregate(fn func(s sequence.Seq, agg core.Aggregate) error) error {
-	return x.ix.Scan(nil, nil, func(k, v []byte) error {
+	return x.decodeScan(x.b.ScanAll, fn)
+}
+
+// eachAggregateUnordered is eachAggregate without the order guarantee
+// — what order-independent consumers (top-k, longest-k selection) use,
+// sparing a chain view the external re-sort into canonical order.
+func (x *Index) eachAggregateUnordered(fn func(s sequence.Seq, agg core.Aggregate) error) error {
+	return x.decodeScan(x.b.ScanUnordered, fn)
+}
+
+func (x *Index) decodeScan(scan func(func(k, v []byte) error) error, fn func(s sequence.Seq, agg core.Aggregate) error) error {
+	return scan(func(k, v []byte) error {
 		s, err := encoding.DecodeSeq(k)
 		if err != nil {
 			return err
@@ -282,7 +377,7 @@ func (x *Index) TopK(k int) ([]NGram, error) {
 		k = int(x.Len())
 	}
 	rv := x.resolver()
-	if keys, vals, ok := x.ix.TopRecords(k); ok {
+	if keys, vals, ok := x.b.TopRecords(k); ok {
 		out := make([]NGram, k)
 		for i := 0; i < k; i++ {
 			s, err := encoding.DecodeSeq(keys[i])
@@ -297,14 +392,14 @@ func (x *Index) TopK(k int) ([]NGram, error) {
 		}
 		return out, nil
 	}
-	return rv.selectTop(x.eachAggregate, x.Len(), k, rv.topKBetter)
+	return rv.selectTop(x.eachAggregateUnordered, x.Len(), k, rv.topKBetter)
 }
 
 // Longest returns the k longest indexed n-grams in the same order as
 // Result.Longest, via a full streaming selection.
 func (x *Index) Longest(k int) ([]NGram, error) {
 	rv := x.resolver()
-	return rv.selectTop(x.eachAggregate, x.Len(), k, rv.longestBetter)
+	return rv.selectTop(x.eachAggregateUnordered, x.Len(), k, rv.longestBetter)
 }
 
 // encodePhrase maps a phrase to its encoded key, or false if any word
@@ -316,7 +411,7 @@ func (x *Index) encodePhrase(phrase string) ([]byte, bool) {
 	}
 	ids := make(sequence.Seq, len(words))
 	for i, w := range words {
-		id, ok := x.ix.Dictionary().ID(strings.ToLower(w))
+		id, ok := x.b.Dictionary().ID(strings.ToLower(w))
 		if !ok {
 			return nil, false
 		}
@@ -334,7 +429,7 @@ func (x *Index) Lookup(phrase string) (NGram, bool, error) {
 	if !ok {
 		return NGram{}, false, nil
 	}
-	val, found, err := x.ix.Get(key)
+	val, found, err := x.b.Get(key)
 	if err != nil || !found {
 		return NGram{}, false, err
 	}
@@ -360,7 +455,7 @@ func (x *Index) Prefix(phrase string, limit int) ([]NGram, error) {
 	}
 	rv := x.resolver()
 	var out []NGram
-	err := x.ix.ScanPrefix(key, func(k, v []byte) error {
+	err := x.b.ScanPrefix(key, func(k, v []byte) error {
 		s, err := encoding.DecodeSeq(k)
 		if err != nil {
 			return err

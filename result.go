@@ -34,6 +34,10 @@ func (n NGram) Length() int { return len(n.IDs) }
 type Result struct {
 	corpus *Corpus
 	run    *core.Run
+	// opts is the Options the computation ran with, recorded so Save
+	// can persist the parameters (τ, σ, selection) an LSM chain needs
+	// to judge appendability.
+	opts Options
 }
 
 // resolver returns the shared decoder rendering terms through the
